@@ -1,0 +1,170 @@
+// Package autovalidate is a Go implementation of Auto-Validate (Song &
+// He, SIGMOD 2021): unsupervised validation of string-valued data columns
+// using data-domain patterns inferred from a data lake.
+//
+// The workflow has two halves, mirroring the paper's architecture
+// (Figure 7):
+//
+//   - Offline, a corpus of lake columns is scanned once into an Index
+//     that pre-aggregates, for every candidate pattern, its estimated
+//     false-positive rate FPR_T and coverage Cov_T.
+//
+//   - Online, Infer selects for a query column the pattern minimizing
+//     estimated FPR subject to FPR and coverage constraints (FMDV), with
+//     vertical cuts for composite columns (FMDV-V), horizontal cuts for
+//     ad-hoc non-conforming values (FMDV-H), or both (FMDV-VH, the
+//     recommended default). The resulting Rule validates future batches
+//     with a two-sample homogeneity test on the non-conforming fraction.
+//
+// A minimal end-to-end use:
+//
+//	corpus, _ := autovalidate.LoadCorpusDir("lake/")
+//	idx := autovalidate.BuildIndex(corpus, autovalidate.DefaultBuildOptions())
+//	rule, err := autovalidate.Infer(trainValues, idx, autovalidate.DefaultOptions())
+//	if err == nil {
+//	    report, _ := rule.Validate(tomorrowValues)
+//	    if report.Alarm { ... }
+//	}
+package autovalidate
+
+import (
+	"autovalidate/internal/core"
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/index"
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/stats"
+	"autovalidate/internal/validate"
+)
+
+// Core data model, re-exported from the implementation packages.
+type (
+	// Corpus is a background data lake T: a set of tables of
+	// string-valued columns.
+	Corpus = corpus.Corpus
+	// Table is one data file of the lake.
+	Table = corpus.Table
+	// Column is one string-valued column.
+	Column = corpus.Column
+	// CorpusStats are the Table 1 characteristics of a corpus.
+	CorpusStats = corpus.Stats
+
+	// Index is the offline index over a corpus (§2.4).
+	Index = index.Index
+	// IndexEntry is one pattern's pre-aggregated evidence.
+	IndexEntry = index.Entry
+	// BuildOptions configure offline indexing.
+	BuildOptions = index.BuildOptions
+
+	// Pattern is a data-domain pattern over the Figure 4 hierarchy.
+	Pattern = pattern.Pattern
+	// EnumOptions configure pattern enumeration (Algorithm 1).
+	EnumOptions = pattern.EnumOptions
+
+	// Options configure inference (strategy, r, m, θ, τ).
+	Options = core.Options
+	// Strategy selects the FMDV variant.
+	Strategy = core.Strategy
+
+	// Rule is a learned validation rule.
+	Rule = validate.Rule
+	// Report is the outcome of validating a batch.
+	Report = validate.Report
+	// RuleSet validates whole tables, one rule per column.
+	RuleSet = validate.RuleSet
+	// ColumnReport pairs a column with its report.
+	ColumnReport = validate.ColumnReport
+
+	// TwoSampleTest selects the drift test of §4.
+	TwoSampleTest = stats.TwoSampleTest
+)
+
+// FMDV variants (§2-§4). FMDVVH is the paper's recommended default.
+const (
+	FMDV   = core.FMDV
+	FMDVV  = core.FMDVV
+	FMDVH  = core.FMDVH
+	FMDVVH = core.FMDVVH
+)
+
+// Drift tests (§4): Fisher's exact test (default) and Pearson's
+// chi-squared with Yates correction.
+const (
+	Fisher     = stats.Fisher
+	ChiSquared = stats.ChiSquared
+)
+
+// Inference failure modes.
+var (
+	// ErrNoFeasible means no pattern satisfied the FPR and coverage
+	// constraints; Auto-Validate conservatively declines to produce a
+	// rule rather than risk false alarms.
+	ErrNoFeasible = core.ErrNoFeasible
+	// ErrEmptyColumn is returned for empty query columns.
+	ErrEmptyColumn = core.ErrEmptyColumn
+	// ErrEmptyBatch is returned when validating an empty batch.
+	ErrEmptyBatch = validate.ErrEmptyBatch
+)
+
+// DefaultOptions returns the paper's recommended configuration: FMDV-VH
+// with r=0.1, m=100, θ=0.1, τ=8, two-tailed Fisher at significance 0.01.
+// Scale m to your lake: it is the minimum number of corpus columns that
+// must exhibit a pattern before it is trusted (§2.2's requirement 2).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultBuildOptions returns the recommended offline-indexing settings
+// (τ=8 with Algorithm 1's coverage pruning).
+func DefaultBuildOptions() BuildOptions { return index.DefaultBuildOptions() }
+
+// DefaultEnumOptions returns the default pattern-enumeration settings.
+func DefaultEnumOptions() EnumOptions { return pattern.DefaultEnumOptions() }
+
+// LoadCorpusDir reads a directory of .csv / .tsv files into a corpus.
+func LoadCorpusDir(dir string) (*Corpus, error) { return corpus.LoadDir(dir) }
+
+// LoadTable reads one CSV/TSV file.
+func LoadTable(path string) (*Table, error) { return corpus.LoadTable(path) }
+
+// BuildIndex scans the corpus into an offline index (one pass, parallel).
+func BuildIndex(c *Corpus, opt BuildOptions) *Index {
+	return index.Build(c.Columns(), opt)
+}
+
+// LoadIndex reads an index written by Index.Save.
+func LoadIndex(path string) (*Index, error) { return index.Load(path) }
+
+// Infer produces a validation rule for a query column using the chosen
+// FMDV variant against the offline index (§2.3, §3, §4).
+func Infer(values []string, idx *Index, opt Options) (*Rule, error) {
+	return core.Infer(values, idx, opt)
+}
+
+// InferNoIndex runs basic FMDV by scanning corpus columns directly for
+// every hypothesis — the Figure 14 "no-index" reference point. Prefer
+// Infer with a prebuilt Index.
+func InferNoIndex(values []string, cols []*Column, opt Options) (*Rule, error) {
+	return core.InferNoIndex(values, cols, opt)
+}
+
+// NewRuleSet returns an empty per-column rule set.
+func NewRuleSet() *RuleSet { return validate.NewRuleSet() }
+
+// InferTable infers one rule per column of a table, skipping columns
+// where no feasible pattern exists, and returns the resulting rule set
+// together with the per-column inference errors.
+func InferTable(t *Table, idx *Index, opt Options) (*RuleSet, map[string]error) {
+	rs := validate.NewRuleSet()
+	errs := map[string]error{}
+	for _, col := range t.Columns {
+		rule, err := core.Infer(col.Values, idx, opt)
+		if err != nil {
+			errs[col.Name] = err
+			continue
+		}
+		rs.Add(col.Name, rule)
+	}
+	return rs, errs
+}
+
+// parseP is the internal hook for ParsePattern (kept here so the
+// extensions file stays dependency-light).
+func parseP(s string) (Pattern, error) { return pattern.Parse(s) }

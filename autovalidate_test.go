@@ -1,0 +1,193 @@
+package autovalidate_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"autovalidate"
+	"autovalidate/internal/datagen"
+)
+
+var (
+	apiOnce sync.Once
+	apiC    *autovalidate.Corpus
+	apiIdx  *autovalidate.Index
+)
+
+func apiFixture(t *testing.T) (*autovalidate.Corpus, *autovalidate.Index) {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiC = datagen.Generate(datagen.Enterprise(80, 77))
+		apiIdx = autovalidate.BuildIndex(apiC, autovalidate.DefaultBuildOptions())
+	})
+	return apiC, apiIdx
+}
+
+func apiOptions() autovalidate.Options {
+	opt := autovalidate.DefaultOptions()
+	opt.M = 10
+	return opt
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	_, idx := apiFixture(t)
+	train, err := datagen.FreshColumn("date_mdy_text", 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := autovalidate.Infer(train, idx, apiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := datagen.FreshColumn("date_mdy_text", 300, 10)
+	rep, err := rule.Validate(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("clean future batch alarmed: %v", rep)
+	}
+	bad, _ := datagen.FreshColumn("locale", 300, 11)
+	rep, err = rule.Validate(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Errorf("drifted batch not flagged: %v", rep)
+	}
+}
+
+func TestPublicCorpusRoundTrip(t *testing.T) {
+	c, _ := apiFixture(t)
+	dir := t.TempDir()
+	sub := &autovalidate.Corpus{Tables: c.Tables[:3]}
+	if err := sub.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := autovalidate.LoadCorpusDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumColumns() != sub.NumColumns() {
+		t.Errorf("round trip: %d cols, want %d", got.NumColumns(), sub.NumColumns())
+	}
+}
+
+func TestPublicIndexPersistence(t *testing.T) {
+	_, idx := apiFixture(t)
+	path := filepath.Join(t.TempDir(), "lake.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := autovalidate.LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != idx.Size() {
+		t.Errorf("index round trip: %d entries, want %d", got.Size(), idx.Size())
+	}
+}
+
+func TestPublicInferTable(t *testing.T) {
+	c, idx := apiFixture(t)
+	var tbl *autovalidate.Table
+	for _, cand := range c.Tables {
+		if len(cand.Columns) >= 6 {
+			tbl = cand
+			break
+		}
+	}
+	if tbl == nil {
+		t.Skip("no wide table in fixture")
+	}
+	rs, errs := autovalidate.InferTable(tbl, idx, apiOptions())
+	if len(rs.Rules)+len(errs) != len(tbl.Columns) {
+		t.Errorf("rules+errors = %d+%d, want %d columns", len(rs.Rules), len(errs), len(tbl.Columns))
+	}
+	if len(rs.Rules) == 0 {
+		t.Error("expected at least one inferable column")
+	}
+	cols := map[string][]string{}
+	for _, col := range tbl.Columns {
+		cols[col.Name] = col.Values
+	}
+	for _, cr := range rs.ValidateColumns(cols) {
+		if cr.Err != nil {
+			t.Errorf("column %s: %v", cr.Column, cr.Err)
+		}
+		if cr.Report.Alarm {
+			t.Errorf("rule alarms on its own training table column %s: %v", cr.Column, cr.Report)
+		}
+	}
+}
+
+func TestPublicTagging(t *testing.T) {
+	c, idx := apiFixture(t)
+	examples, _ := datagen.FreshColumn("hex_id16", 60, 5)
+	rule, err := autovalidate.InferTagPattern(examples, idx, apiOptions(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := autovalidate.TagColumns(c, rule.Pattern, 0.9)
+	if len(matches) == 0 {
+		t.Fatal("tagging found no hex-id columns in a lake that contains them")
+	}
+	hexCols := 0
+	for _, m := range matches {
+		if m.Column.Domain == "hex_id16" || m.Column.Domain == "dirty:hex_id16" {
+			hexCols++
+		}
+	}
+	if hexCols == 0 {
+		t.Errorf("no tagged column is actually a hex-id column: %v", matches[0].Column.Domain)
+	}
+	for i := 1; i < len(matches); i++ {
+		if matches[i].MatchFraction > matches[i-1].MatchFraction+1e-12 {
+			t.Error("matches not sorted by fraction")
+		}
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	_, idx := apiFixture(t)
+	if _, err := autovalidate.Infer(nil, idx, apiOptions()); !errors.Is(err, autovalidate.ErrEmptyColumn) {
+		t.Errorf("want ErrEmptyColumn, got %v", err)
+	}
+	opt := apiOptions()
+	opt.M = 1 << 30
+	vals, _ := datagen.FreshColumn("locale", 50, 3)
+	if _, err := autovalidate.Infer(vals, idx, opt); !errors.Is(err, autovalidate.ErrNoFeasible) {
+		t.Errorf("want ErrNoFeasible, got %v", err)
+	}
+}
+
+func ExampleInfer() {
+	// A tiny lake with three date columns provides the corpus evidence.
+	lake := &autovalidate.Corpus{}
+	tbl := &autovalidate.Table{Name: "t"}
+	for i := 0; i < 3; i++ {
+		col := &autovalidate.Column{Table: "t", Name: fmt.Sprintf("d%d", i)}
+		for m := 0; m < 12; m++ {
+			col.Values = append(col.Values, fmt.Sprintf("%s %02d %d", []string{
+				"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+				"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}[m], 10+i, 2018+i))
+		}
+		tbl.Columns = append(tbl.Columns, col)
+	}
+	lake.Add(tbl)
+	idx := autovalidate.BuildIndex(lake, autovalidate.DefaultBuildOptions())
+
+	opt := autovalidate.DefaultOptions()
+	opt.Strategy = autovalidate.FMDV
+	opt.M = 2 // tiny lake: trust patterns seen in ≥2 columns
+	rule, err := autovalidate.Infer([]string{"Mar 01 2019", "Mar 02 2019", "Mar 03 2019"}, idx, opt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rule.Pattern)
+	// Output: <letter>{3} <digit>{2} <digit>{4}
+}

@@ -1,0 +1,114 @@
+package autovalidate_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd drives the four pipeline tools the way an operator
+// would: synthesize a lake, index it, inspect one column's rule, and
+// validate a recurring feed — asserting the drifted day alarms (exit 1)
+// while the clean day passes (exit 0).
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"avgen", "avindex", "avinfer", "avvalidate"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	lake := filepath.Join(dir, "lake")
+	run := func(wantExit int, name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin(name), args...)
+		out, err := cmd.CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%s %v: exit %d, want %d\n%s", name, args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	out := run(0, "avgen", "-profile", "enterprise", "-tables", "40", "-seed", "3", "-out", lake)
+	if !strings.Contains(out, "wrote 40 files") {
+		t.Fatalf("avgen output: %s", out)
+	}
+
+	idx := filepath.Join(dir, "lake.idx")
+	out = run(0, "avindex", "-corpus", lake, "-out", idx, "-tau", "8")
+	if !strings.Contains(out, "index{") {
+		t.Fatalf("avindex output: %s", out)
+	}
+
+	// Pick a generated file as the recurring feed and another as a
+	// "drifted" feed with different columns.
+	files, err := filepath.Glob(filepath.Join(lake, "*.csv"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("lake files: %v %v", files, err)
+	}
+	feed := files[0]
+
+	// avinfer on the first column of the feed.
+	head, err := os.ReadFile(feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstCol := strings.SplitN(strings.SplitN(string(head), "\n", 2)[0], ",", 2)[0]
+	out = run(0, "avinfer", "-index", idx, "-csv", feed, "-col", firstCol, "-m", "5")
+	if !strings.Contains(out, "pattern:") {
+		t.Fatalf("avinfer output: %s", out)
+	}
+
+	// Validating the feed against itself must pass...
+	out = run(0, "avvalidate", "-index", idx, "-train", feed, "-test", feed, "-m", "5")
+	if !strings.Contains(out, "passed") {
+		t.Fatalf("avvalidate clean output: %s", out)
+	}
+	// ...and validating a structurally different table must alarm,
+	// provided at least one rule was learned (column names must match,
+	// so build a drifted copy of the feed by shuffling its columns).
+	drifted := filepath.Join(dir, "drifted.csv")
+	writeShuffledColumns(t, feed, drifted)
+	out = run(1, "avvalidate", "-index", idx, "-train", feed, "-test", drifted, "-m", "5")
+	if !strings.Contains(out, "ALARM") {
+		t.Fatalf("avvalidate drift output: %s", out)
+	}
+}
+
+// writeShuffledColumns writes a copy of the CSV with the column order
+// rotated by one but the header left unchanged — the §5.3 schema drift.
+func writeShuffledColumns(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	var sb strings.Builder
+	for i, line := range lines {
+		if i == 0 {
+			sb.WriteString(line)
+		} else {
+			cells := strings.Split(line, ",")
+			rotated := append(cells[1:], cells[0])
+			sb.WriteString(strings.Join(rotated, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(dst, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

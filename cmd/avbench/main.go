@@ -1,0 +1,96 @@
+// Command avbench regenerates the paper's tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autovalidate/internal/evalbench"
+)
+
+func main() {
+	exp := flag.String("exp", "fig10a", "experiment id: table1|table2|table3|fig10a|fig10b|fig11|fig12a|fig12b|fig12c|fig12d|fig13|fig14|fig15|ablations|all")
+	scale := flag.String("scale", "default", "default|quick")
+	flag.Parse()
+
+	cfg := evalbench.DefaultConfig()
+	if *scale == "quick" {
+		cfg = evalbench.QuickConfig()
+	}
+	start := time.Now()
+	env := evalbench.NewEnv(cfg)
+	fmt.Fprintf(os.Stderr, "env ready in %s (TE=%d cols idx=%d pats, TG=%d cols idx=%d pats)\n",
+		time.Since(start).Round(time.Millisecond),
+		env.TE.NumColumns(), env.IdxE.Size(), env.TG.NumColumns(), env.IdxG.Size())
+
+	run := func(id string) {
+		t0 := time.Now()
+		switch id {
+		case "table1":
+			fmt.Println("=== Table 1: corpus characteristics ===")
+			fmt.Print(evalbench.FormatTable1(env.Table1()))
+		case "table2":
+			fmt.Println("=== Table 2: programmatic vs ground truth (BE) ===")
+			fmt.Print(evalbench.FormatTable2(env.Table2()))
+		case "table3":
+			fmt.Println("=== Table 3: user study ===")
+			fmt.Print(evalbench.FormatTable3(env.Table3UserStudy(20)))
+		case "fig10a":
+			fmt.Println("=== Figure 10(a): Enterprise benchmark P/R ===")
+			fmt.Print(evalbench.FormatFigure10(env.Figure10("BE")))
+		case "fig10b":
+			fmt.Println("=== Figure 10(b): Government benchmark P/R ===")
+			fmt.Print(evalbench.FormatFigure10(env.Figure10("BG")))
+		case "fig11":
+			fmt.Println("=== Figure 11: case-by-case F1 (100 cases) ===")
+			fmt.Print(evalbench.FormatFigure11(env.Figure11(100)))
+		case "fig12a":
+			fmt.Println("=== Figure 12(a): sensitivity to r ===")
+			fmt.Print(evalbench.FormatSensitivity("r", env.Figure12a(nil)))
+		case "fig12b":
+			fmt.Println("=== Figure 12(b): sensitivity to m ===")
+			fmt.Print(evalbench.FormatSensitivity("m", env.Figure12b(nil)))
+		case "fig12c":
+			fmt.Println("=== Figure 12(c): sensitivity to tau ===")
+			fmt.Print(evalbench.FormatSensitivity("tau", env.Figure12c(nil)))
+		case "fig12d":
+			fmt.Println("=== Figure 12(d): sensitivity to theta ===")
+			fmt.Print(evalbench.FormatSensitivity("theta", env.Figure12d(nil)))
+		case "fig13":
+			fmt.Println("=== Figure 13: index pattern distributions ===")
+			fmt.Print(evalbench.FormatFigure13(env.Figure13Analysis()))
+		case "fig14":
+			fmt.Println("=== Figure 14: per-column latency ===")
+			fmt.Print(evalbench.FormatFigure14(env.Figure14Latency(30, 200)))
+		case "fig15":
+			fmt.Println("=== Figure 15: Kaggle schema-drift case study ===")
+			rows, err := env.Figure15Kaggle()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fig15:", err)
+				os.Exit(1)
+			}
+			fmt.Print(evalbench.FormatFigure15(rows))
+		case "ablations":
+			fmt.Println("=== Ablations ===")
+			fmt.Print(evalbench.FormatAblation("FMDV vs CMDV objective", env.AblationCMDV()))
+			fmt.Print(evalbench.FormatAblation("sum vs max segment aggregation", env.AblationMaxAggregation()))
+			fmt.Print(evalbench.FormatAblation("Fisher vs chi-squared drift test", env.AblationDriftTest()))
+			fmt.Print(evalbench.FormatAblation("index support threshold", env.AblationIndexSupport()))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table1", "fig10a", "fig10b", "table2", "fig11",
+			"fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "table3", "fig15", "ablations"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,51 @@
+// Command avindex builds the offline Auto-Validate index (§2.4) from a
+// directory of CSV/TSV files.
+//
+// Usage:
+//
+//	avindex -corpus ./lake -out lake.idx -tau 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autovalidate"
+)
+
+func main() {
+	corpusDir := flag.String("corpus", "lake", "directory of CSV/TSV files")
+	out := flag.String("out", "lake.idx", "output index file")
+	tau := flag.Int("tau", 8, "token-count cap τ for indexed patterns")
+	workers := flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	c, err := autovalidate.LoadCorpusDir(*corpusDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avindex:", err)
+		os.Exit(1)
+	}
+	opt := autovalidate.DefaultBuildOptions()
+	opt.Enum.MaxTokens = *tau
+	opt.Workers = *workers
+	if *verbose {
+		opt.Progress = func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rindexed %d/%d columns", done, total)
+			}
+		}
+	}
+	start := time.Now()
+	idx := autovalidate.BuildIndex(c, opt)
+	if *verbose {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err := idx.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "avindex:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s in %s -> %s\n", idx, time.Since(start).Round(time.Millisecond), *out)
+}

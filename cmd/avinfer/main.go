@@ -1,0 +1,108 @@
+// Command avinfer infers a data-domain validation pattern for one column
+// against a prebuilt index.
+//
+// The column comes either from a text file with one value per line
+// (-values) or from a named column of a CSV file (-csv/-col).
+//
+// Usage:
+//
+//	avinfer -index lake.idx -csv feed.csv -col order_ts -strategy vh
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"autovalidate"
+)
+
+func main() {
+	idxPath := flag.String("index", "lake.idx", "offline index file")
+	valuesPath := flag.String("values", "", "text file with one value per line")
+	csvPath := flag.String("csv", "", "CSV file containing the column")
+	colName := flag.String("col", "", "column name within -csv")
+	strategy := flag.String("strategy", "vh", "fmdv|v|h|vh")
+	r := flag.Float64("r", 0.1, "FPR target r")
+	m := flag.Int("m", 100, "coverage target m")
+	theta := flag.Float64("theta", 0.1, "non-conforming tolerance θ")
+	flag.Parse()
+
+	idx, err := autovalidate.LoadIndex(*idxPath)
+	if err != nil {
+		fatal(err)
+	}
+	values, err := loadValues(*valuesPath, *csvPath, *colName)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := autovalidate.DefaultOptions()
+	opt.R, opt.M, opt.Theta = *r, *m, *theta
+	opt.Tau = idx.Enum.MaxTokens
+	switch *strategy {
+	case "fmdv":
+		opt.Strategy = autovalidate.FMDV
+	case "v":
+		opt.Strategy = autovalidate.FMDVV
+	case "h":
+		opt.Strategy = autovalidate.FMDVH
+	case "vh":
+		opt.Strategy = autovalidate.FMDVVH
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	rule, err := autovalidate.Infer(values, idx, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("strategy:       %s\n", rule.Strategy)
+	fmt.Printf("pattern:        %s\n", rule.Pattern)
+	fmt.Printf("estimated FPR:  %.6f\n", rule.EstimatedFPR)
+	fmt.Printf("train θ:        %.4f (%d/%d non-conforming)\n",
+		rule.TrainTheta(), rule.TrainNonConforming, rule.TrainTotal)
+	if len(rule.Segments) > 1 {
+		fmt.Println("segments:")
+		for i, s := range rule.Segments {
+			fmt.Printf("  %2d: %s\n", i, s)
+		}
+	}
+}
+
+func loadValues(valuesPath, csvPath, colName string) ([]string, error) {
+	switch {
+	case valuesPath != "":
+		f, err := os.Open(valuesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var out []string
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			out = append(out, sc.Text())
+		}
+		return out, sc.Err()
+	case csvPath != "":
+		t, err := autovalidate.LoadTable(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range t.Columns {
+			if col.Name == colName {
+				return col.Values, nil
+			}
+		}
+		return nil, fmt.Errorf("column %q not found in %s", colName, csvPath)
+	default:
+		return nil, fmt.Errorf("provide -values or -csv/-col")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avinfer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command avvalidate learns validation rules from a training table and
+// validates a future batch of the same table against them — the
+// recurring-pipeline workflow of the paper's introduction.
+//
+// Usage:
+//
+//	avvalidate -index lake.idx -train monday.csv -test tuesday.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autovalidate"
+)
+
+func main() {
+	idxPath := flag.String("index", "lake.idx", "offline index file")
+	trainPath := flag.String("train", "", "training CSV (today's feed)")
+	testPath := flag.String("test", "", "CSV to validate (tomorrow's feed)")
+	r := flag.Float64("r", 0.1, "FPR target r")
+	m := flag.Int("m", 100, "coverage target m")
+	theta := flag.Float64("theta", 0.1, "non-conforming tolerance θ")
+	alpha := flag.Float64("alpha", 0.01, "drift-test significance level")
+	flag.Parse()
+
+	if *trainPath == "" || *testPath == "" {
+		fmt.Fprintln(os.Stderr, "avvalidate: -train and -test are required")
+		os.Exit(2)
+	}
+	idx, err := autovalidate.LoadIndex(*idxPath)
+	if err != nil {
+		fatal(err)
+	}
+	trainTbl, err := autovalidate.LoadTable(*trainPath)
+	if err != nil {
+		fatal(err)
+	}
+	testTbl, err := autovalidate.LoadTable(*testPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := autovalidate.DefaultOptions()
+	opt.R, opt.M, opt.Theta, opt.Alpha = *r, *m, *theta, *alpha
+	opt.Tau = idx.Enum.MaxTokens
+	rules, errs := autovalidate.InferTable(trainTbl, idx, opt)
+	fmt.Printf("learned %d rules (%d columns without a feasible pattern)\n", len(rules.Rules), len(errs))
+
+	cols := map[string][]string{}
+	for _, col := range testTbl.Columns {
+		cols[col.Name] = col.Values
+	}
+	alarms := 0
+	for _, cr := range rules.ValidateColumns(cols) {
+		if cr.Err != nil {
+			fmt.Printf("  %-24s error: %v\n", cr.Column, cr.Err)
+			continue
+		}
+		fmt.Printf("  %-24s %s\n", cr.Column, cr.Report)
+		if cr.Report.Alarm {
+			alarms++
+		}
+	}
+	if alarms > 0 {
+		fmt.Printf("%d column(s) ALARMED\n", alarms)
+		os.Exit(1)
+	}
+	fmt.Println("all validated columns passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avvalidate:", err)
+	os.Exit(1)
+}

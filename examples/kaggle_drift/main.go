@@ -1,0 +1,61 @@
+// Kaggle drift: a condensed version of the paper's Figure 15 case study.
+// For three ML tasks, train a gradient-boosted-trees model, simulate
+// schema drift by swapping the two categorical attributes in the test
+// split, measure the quality drop, and show that Auto-Validate flags the
+// drift before the model ever sees it — except when the two attributes
+// share a syntactic pattern, the case the paper reports as undetectable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autovalidate"
+	"autovalidate/internal/datagen"
+	"autovalidate/internal/ml"
+)
+
+func main() {
+	lake := datagen.Generate(datagen.Enterprise(120, 5))
+	idx := autovalidate.BuildIndex(lake, autovalidate.DefaultBuildOptions())
+	opt := autovalidate.DefaultOptions()
+	opt.M = 20
+
+	for _, task := range datagen.KaggleTasks() {
+		switch task.Name {
+		case "Titanic", "SFCrime", "WestNile":
+		default:
+			continue
+		}
+		train, test, err := task.Generate(1200, 600, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mlTask, metric, metricName := ml.Regression, ml.R2, "R²"
+		if task.Kind == datagen.Classification {
+			mlTask, metric, metricName = ml.Classification, ml.AveragePrecision, "avg-precision"
+		}
+		encA, encATest := datagen.EncodeCategorical(train.CatA, test.CatA)
+		encB, encBTest := datagen.EncodeCategorical(train.CatB, test.CatB)
+		model := ml.Train(datagen.FeatureMatrix(encA, encB, train.Numeric), train.Labels, ml.DefaultConfig(mlTask))
+		base := metric(model.PredictAll(datagen.FeatureMatrix(encATest, encBTest, test.Numeric)), test.Labels)
+
+		drifted := *test
+		drifted.SwapCategoricals()
+		_, dA := datagen.EncodeCategorical(train.CatA, drifted.CatA)
+		_, dB := datagen.EncodeCategorical(train.CatB, drifted.CatB)
+		after := metric(model.PredictAll(datagen.FeatureMatrix(dA, dB, drifted.Numeric)), drifted.Labels)
+
+		detected := false
+		for _, cat := range [][2][]string{{train.CatA, drifted.CatA}, {train.CatB, drifted.CatB}} {
+			if rule, err := autovalidate.Infer(cat[0], idx, opt); err == nil && rule.Flags(cat[1]) {
+				detected = true
+			}
+		}
+		fmt.Printf("%-10s %s: no-drift %.3f -> drifted %.3f (%.0f%%), validation detected drift: %v\n",
+			task.Name, metricName, base, after, 100*after/base, detected)
+	}
+	fmt.Println("\nWestNile pairs two same-pattern enum attributes, so single-column")
+	fmt.Println("pattern validation cannot see the swap — one of the 3/11 undetectable")
+	fmt.Println("tasks in the paper's study.")
+}

@@ -1,0 +1,88 @@
+// Pipeline monitor: the paper's motivating scenario — a recurring daily
+// pipeline whose upstream feed silently changes. Rules are learned once
+// from day 0, then each day's feed is validated; on day 3 a data drift
+// ("en-US" → "en_US" formatting change plus invalid "en-99" values, the
+// intro's example) creeps in, and on day 5 two columns are swapped
+// (schema drift).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"autovalidate"
+	"autovalidate/internal/datagen"
+)
+
+func main() {
+	lake := datagen.Generate(datagen.Enterprise(120, 1))
+	idx := autovalidate.BuildIndex(lake, autovalidate.DefaultBuildOptions())
+
+	opt := autovalidate.DefaultOptions()
+	opt.M = 20
+
+	// Day 0: learn rules from the first feed of the pipeline.
+	feed := makeFeed(0, false, false)
+	rules := autovalidate.NewRuleSet()
+	for name, values := range feed {
+		rule, err := autovalidate.Infer(values, idx, opt)
+		if err != nil {
+			fmt.Printf("day 0: column %-12s -> no rule (%v)\n", name, err)
+			continue
+		}
+		rules.Add(name, rule)
+		fmt.Printf("day 0: column %-12s -> %s\n", name, rule.Pattern)
+	}
+
+	// Days 1-6: validate each morning's feed.
+	for day := 1; day <= 6; day++ {
+		dataDrift := day == 3   // locale formatting change + invalid codes
+		schemaDrift := day == 5 // order_id and locale columns swapped
+		feed := makeFeed(int64(day), dataDrift, schemaDrift)
+		var alarms []string
+		for _, cr := range rules.ValidateColumns(feed) {
+			if cr.Err != nil {
+				log.Fatal(cr.Err)
+			}
+			if cr.Report.Alarm {
+				alarms = append(alarms, fmt.Sprintf("%s (%s)", cr.Column, cr.Report))
+			}
+		}
+		status := "OK"
+		if len(alarms) > 0 {
+			status = "ALARM: " + strings.Join(alarms, "; ")
+		}
+		fmt.Printf("day %d: %s\n", day, status)
+	}
+}
+
+// makeFeed produces one day's three-column feed.
+func makeFeed(seed int64, dataDrift, schemaDrift bool) map[string][]string {
+	rng := rand.New(rand.NewSource(seed + 1000))
+	n := 400
+	orderIDs := make([]string, n)
+	locales := make([]string, n)
+	ts := make([]string, n)
+	langs := []string{"en", "fr", "de", "ja", "pt"}
+	regions := []string{"US", "GB", "DE", "JP", "BR"}
+	for i := 0; i < n; i++ {
+		orderIDs[i] = fmt.Sprintf("%08d", rng.Intn(100000000))
+		sep := "-"
+		region := regions[rng.Intn(len(regions))]
+		if dataDrift {
+			// The silent upstream change of the paper's intro.
+			sep = "_"
+			if rng.Intn(10) == 0 {
+				region = "99" // invalid locale region
+			}
+		}
+		locales[i] = langs[rng.Intn(len(langs))] + sep + region
+		ts[i] = fmt.Sprintf("%d:%02d:%02d", rng.Intn(24), rng.Intn(60), rng.Intn(60))
+	}
+	if schemaDrift {
+		orderIDs, locales = locales, orderIDs
+	}
+	return map[string][]string{"order_id": orderIDs, "locale": locales, "event_time": ts}
+}

@@ -1,0 +1,285 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/datagen"
+)
+
+func marchDates(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Mar %02d 2019", 1+i%28)
+	}
+	return out
+}
+
+func aprilDates(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Apr %02d 2019", 1+i%28)
+	}
+	return out
+}
+
+func TestTFDVDictionaryOverfits(t *testing.T) {
+	// The paper's headline TFDV failure: a dictionary learned on March
+	// dates false-alarms on April dates.
+	r, err := (TFDV{}).Train(marchDates(28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flags(marchDates(28)) {
+		t.Error("TFDV must accept seen values")
+	}
+	if !r.Flags(aprilDates(5)) {
+		t.Error("TFDV dictionary should flag unseen (April) values — the paper's false-positive mode")
+	}
+}
+
+func TestDeequCatDeclinesNonCategorical(t *testing.T) {
+	// A high-cardinality column is not categorical; Deequ suggests no
+	// rule for it.
+	vals := make([]string, 100)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%08x", i*2654435761)
+	}
+	if _, err := (DeequCat{}).Train(vals); !errors.Is(err, ErrNoRule) {
+		t.Errorf("DeequCat should decline high-cardinality columns, got %v", err)
+	}
+	// A low-cardinality column gets a dictionary rule.
+	enums := make([]string, 100)
+	for i := range enums {
+		enums[i] = []string{"US", "UK", "DE"}[i%3]
+	}
+	r, err := (DeequCat{}).Train(enums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Flags([]string{"US", "FR"}) {
+		t.Error("Deequ-Cat must flag out-of-dictionary values")
+	}
+}
+
+func TestDeequFraToleratesFraction(t *testing.T) {
+	r, err := (DeequFra{}).Train(marchDates(28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% novel values: within the 90% fractional threshold.
+	batch := append(marchDates(95), aprilDates(5)...)
+	if r.Flags(batch) {
+		t.Error("Deequ-Fra should tolerate 5% novel values")
+	}
+	// 50% novel values: breach.
+	batch = append(marchDates(50), aprilDates(50)...)
+	if !r.Flags(batch) {
+		t.Error("Deequ-Fra should flag 50% novel values")
+	}
+}
+
+func TestPWheelProfilesTooSpecifically(t *testing.T) {
+	// Figure 2(a): the MDL profile of a March-only column is
+	// "Mar <digit>{2} 2019", which false-alarms on April.
+	p, ok := MDLPattern(marchDates(28))
+	if !ok {
+		t.Fatal("no MDL pattern")
+	}
+	if got := p.String(); got != "Mar <digit>{2} 2019" {
+		t.Errorf("MDL pattern = %q, want the paper's profiling pattern", got)
+	}
+	r, err := (PWheel{}).Train(marchDates(28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Flags(aprilDates(3)) {
+		t.Error("PWheel profile should false-alarm on April dates")
+	}
+}
+
+func TestPWheelGeneralizesAcrossMonths(t *testing.T) {
+	// With months varied in training, MDL stops paying for the
+	// constant and generalizes.
+	mixed := append(marchDates(20), aprilDates(20)...)
+	p, ok := MDLPattern(mixed)
+	if !ok {
+		t.Fatal("no MDL pattern")
+	}
+	if !p.Match("May 05 2019") {
+		t.Errorf("MDL pattern %q should generalize the month position", p)
+	}
+}
+
+func TestSSISRangePattern(t *testing.T) {
+	vals := []string{"9:07:32", "10:15:59", "1:00:00"}
+	r, err := (SSIS{}).Train(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flags([]string{"11:22:33"}) {
+		t.Error("SSIS range pattern should accept widths seen in training")
+	}
+	if !r.Flags([]string{"111:22:33"}) {
+		t.Error("SSIS range pattern should flag unseen widths")
+	}
+	if !r.Flags([]string{"en-US"}) {
+		t.Error("SSIS should flag a different shape entirely")
+	}
+}
+
+func TestXSystemBranchesPerShape(t *testing.T) {
+	vals := []string{"9:07", "10:15", "abc", "def"}
+	r, err := (XSystem{}).Train(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flags([]string{"8:55", "xyz"}) {
+		t.Error("XSystem should accept values matching either branch")
+	}
+	if !r.Flags([]string{"a-b"}) {
+		t.Error("XSystem should flag shapes with no branch")
+	}
+}
+
+func TestFlashProfileMostSpecific(t *testing.T) {
+	vals := []string{"sess_01", "sess_02", "sess_03"}
+	r, err := (FlashProfile{}).Train(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flags([]string{"sess_09"}) {
+		t.Error("FlashProfile should accept same-cluster values")
+	}
+	if !r.Flags([]string{"user_01"}) {
+		t.Error("FlashProfile pins uniform text as constants; 'user_01' must flag")
+	}
+}
+
+func TestGrokRecognizesCommonTypes(t *testing.T) {
+	cases := map[string][]string{
+		"IPV4":   {"10.0.0.1", "192.168.1.254"},
+		"UUID":   {"01234567-89ab-cdef-0123-456789abcdef"},
+		"TIME":   {"9:07:32", "12:01:02"},
+		"NUMBER": {"3.14", "42"},
+		"LOCALE": {"en-US", "fr-FR"},
+	}
+	for want, vals := range cases {
+		name, ok := GrokKnown(vals)
+		if !ok || name != want {
+			t.Errorf("GrokKnown(%v) = %q,%v, want %q", vals, name, ok, want)
+		}
+	}
+}
+
+func TestGrokDeclinesProprietaryFormats(t *testing.T) {
+	vals, err := datagen.FreshColumn("composite_booking", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Grok{}).Train(vals); !errors.Is(err, ErrNoRule) {
+		t.Errorf("Grok should not recognize proprietary composite columns, got %v", err)
+	}
+	// KB entity ids, by contrast, happen to look like unix paths — a
+	// coincidental Grok hit that illustrates why curated libraries have
+	// unpredictable coverage on lake data.
+	vals, err = datagen.FreshColumn("kb_entity", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Grok{}).Train(vals); err != nil {
+		t.Errorf("kb_entity matches the UNIXPATH pattern, expected a rule, got %v", err)
+	}
+}
+
+func TestGrokRuleFlags(t *testing.T) {
+	r, err := (Grok{}).Train([]string{"10.0.0.1", "10.0.0.2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flags([]string{"10.0.0.3"}) {
+		t.Error("Grok should accept more IPs")
+	}
+	if !r.Flags([]string{"not-an-ip"}) {
+		t.Error("Grok should flag non-IPs")
+	}
+}
+
+func smCorpus(t *testing.T) []*corpus.Column {
+	t.Helper()
+	c := datagen.Generate(datagen.Enterprise(30, 3))
+	return c.Columns()
+}
+
+func TestSMInstanceBroadensTraining(t *testing.T) {
+	cols := smCorpus(t)
+	// Find a real date column in the corpus to guarantee overlap is
+	// possible in principle; train on a narrow slice of it.
+	var dateCol *corpus.Column
+	for _, col := range cols {
+		if col.Domain == "date_mdy_text" && len(col.Values) > 40 {
+			dateCol = col
+			break
+		}
+	}
+	if dateCol == nil {
+		t.Skip("fixture lacks a long date column")
+	}
+	m := &SMInstance{K: 1}
+	m.SetCorpus(cols)
+	r, err := m.Train(dateCol.Values[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pooled profile should at least accept the rest of the very
+	// column the training slice came from.
+	if r.Flags(dateCol.Values[20:40]) {
+		t.Error("SM-I-1 pooled profile should accept the source column's later values")
+	}
+	if m.Name() != "SM-I-1" || (&SMInstance{K: 10}).Name() != "SM-I-10" {
+		t.Error("SM-I names wrong")
+	}
+}
+
+func TestSMPatternPoolsSameShapeColumns(t *testing.T) {
+	cols := smCorpus(t)
+	m := &SMPattern{}
+	m.SetCorpus(cols)
+	r, err := m.Train(marchDates(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Other date columns in the lake share the shape, so the pooled
+	// profile must generalize beyond March.
+	if r.Flags(aprilDates(10)) {
+		t.Error("SM-P-M should generalize across months by pooling same-shape columns")
+	}
+	if m.Name() != "SM-P-M" || (&SMPattern{Plurality: true}).Name() != "SM-P-P" {
+		t.Error("SM-P names wrong")
+	}
+}
+
+func TestMajorityShape(t *testing.T) {
+	maj, plu := majorityShape([]string{"ab", "cd", "12"})
+	if maj != "l" || plu != "l" {
+		t.Errorf("majority/plurality = %q/%q, want l/l", maj, plu)
+	}
+	maj, plu = majorityShape([]string{"ab", "12", "x-y", "p-q"})
+	if maj != "" {
+		t.Errorf("no majority expected, got %q", maj)
+	}
+	if plu == "" {
+		t.Error("plurality should always exist")
+	}
+}
+
+func TestMethodsDeclineEmptyInput(t *testing.T) {
+	methods := []Method{TFDV{}, DeequCat{}, DeequFra{}, PWheel{}, SSIS{}, XSystem{}, FlashProfile{}, Grok{}}
+	for _, m := range methods {
+		if _, err := m.Train(nil); err == nil {
+			t.Errorf("%s should decline empty training data", m.Name())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package baselines
+
+// Dictionary-based validation rules: TensorFlow Data Validation's
+// inferred string_domain and Amazon Deequ's CategoricalRangeRule /
+// FractionalCategoricalRangeRule (§5.2). These are the rules the paper
+// measures at >90% (TFDV) and >20% (Deequ) false-positive columns: a
+// dictionary of seen values generalizes poorly to open domains.
+
+// TFDV mimics TFDV's schema inference for string features: the inferred
+// string_domain is exactly the set of training values, and any unseen
+// future value is an anomaly.
+type TFDV struct{}
+
+// Name implements Method.
+func (TFDV) Name() string { return "TFDV" }
+
+// Train implements Method.
+func (TFDV) Train(values []string) (Rule, error) {
+	if len(values) == 0 {
+		return nil, ErrNoRule
+	}
+	return dictRule{dict: toSet(values), minInDict: 1.0}, nil
+}
+
+// DeequCat mimics Deequ's CategoricalRangeRule: suggested only when the
+// training column looks categorical (few distinct values relative to its
+// size), and then requires every future value to be in the dictionary.
+type DeequCat struct{}
+
+// Name implements Method.
+func (DeequCat) Name() string { return "Deequ-Cat" }
+
+// deequCategoricalThreshold approximates Deequ's heuristic for when a
+// string column is categorical enough to suggest a range rule.
+const deequCategoricalThreshold = 0.6
+
+// Train implements Method.
+func (DeequCat) Train(values []string) (Rule, error) {
+	if len(values) == 0 {
+		return nil, ErrNoRule
+	}
+	d := distinct(values)
+	if float64(len(d)) > deequCategoricalThreshold*float64(len(values)) {
+		return nil, ErrNoRule // not categorical: Deequ suggests nothing
+	}
+	return dictRule{dict: toSet(values), minInDict: 1.0}, nil
+}
+
+// DeequFra mimics Deequ's FractionalCategoricalRangeRule: future data
+// must be at least 90% covered by the training dictionary.
+type DeequFra struct{}
+
+// Name implements Method.
+func (DeequFra) Name() string { return "Deequ-Fra" }
+
+// deequFraction is the coverage Deequ's fractional rule asserts.
+const deequFraction = 0.9
+
+// Train implements Method.
+func (DeequFra) Train(values []string) (Rule, error) {
+	if len(values) == 0 {
+		return nil, ErrNoRule
+	}
+	return dictRule{dict: toSet(values), minInDict: deequFraction}, nil
+}
+
+type dictRule struct {
+	dict      map[string]struct{}
+	minInDict float64
+}
+
+func (r dictRule) Flags(values []string) bool {
+	if len(values) == 0 {
+		return false
+	}
+	in := 0
+	for _, v := range values {
+		if _, ok := r.dict[v]; ok {
+			in++
+		}
+	}
+	return float64(in) < r.minInDict*float64(len(values))
+}
+
+func toSet(values []string) map[string]struct{} {
+	s := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		s[v] = struct{}{}
+	}
+	return s
+}

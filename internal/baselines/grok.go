@@ -1,0 +1,101 @@
+package baselines
+
+import "regexp"
+
+// Grok applies the curated-regex strategy of the Grok pattern library
+// used in log parsing and AWS Glue classifiers (§5.2): a fixed library of
+// well-known data types. If every training value matches one library
+// pattern, that pattern becomes the rule; otherwise no rule is produced.
+// As the paper notes, this is high-precision but low-recall: only common
+// public data types are curated, never proprietary lake domains.
+type Grok struct{}
+
+// Name implements Method.
+func (Grok) Name() string { return "Grok" }
+
+// grokPattern is one curated entry.
+type grokPattern struct {
+	name string
+	re   *regexp.Regexp
+}
+
+// grokLibrary mirrors the widely used subset of the Grok pattern
+// collection (timestamps, network identifiers, numbers, UUIDs, paths).
+var grokLibrary = []grokPattern{
+	{"UUID", regexp.MustCompile(`^[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}$`)},
+	{"IPV4", regexp.MustCompile(`^(?:\d{1,3}\.){3}\d{1,3}$`)},
+	{"MAC", regexp.MustCompile(`^(?:[0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$`)},
+	{"EMAILADDRESS", regexp.MustCompile(`^[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}$`)},
+	{"URI", regexp.MustCompile(`^https?://[^\s]+$`)},
+	{"ISO8601", regexp.MustCompile(`^\d{4}-\d{2}-\d{2}([T ]\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:?\d{2})?)?$`)},
+	{"DATESTAMP_US", regexp.MustCompile(`^\d{1,2}/\d{1,2}/\d{4}([ ]\d{1,2}:\d{2}(:\d{2})?([ ][AP]M)?)?$`)},
+	{"DATESTAMP_EU", regexp.MustCompile(`^\d{1,2}[./-]\d{1,2}[./-]\d{4}$`)},
+	{"SYSLOGTIMESTAMP", regexp.MustCompile(`^[A-Z][a-z]{2} {1,2}\d{1,2} \d{2}:\d{2}:\d{2}$`)},
+	{"MONTHDAYYEAR", regexp.MustCompile(`^[A-Z][a-z]{2} \d{2} \d{4}$`)},
+	{"TIME", regexp.MustCompile(`^\d{1,2}:\d{2}(:\d{2})?([ ][AP]M)?$`)},
+	{"INT", regexp.MustCompile(`^[+-]?\d+$`)},
+	{"NUMBER", regexp.MustCompile(`^[+-]?\d+(\.\d+)?$`)},
+	{"BASE16NUM", regexp.MustCompile(`^(?:0[xX])?[0-9a-fA-F]+$`)},
+	{"UNIXPATH", regexp.MustCompile(`^(/[\w.-]+)+/?$`)},
+	{"WINPATH", regexp.MustCompile(`^[A-Za-z]:(\\[\w.-]+)+\\?$`)},
+	{"HOSTNAME", regexp.MustCompile(`^[a-zA-Z0-9]([a-zA-Z0-9-]*[a-zA-Z0-9])?(\.[a-zA-Z0-9]([a-zA-Z0-9-]*[a-zA-Z0-9])?)+$`)},
+	{"LOGLEVEL", regexp.MustCompile(`^(TRACE|DEBUG|INFO|WARN|WARNING|ERROR|FATAL|SEVERE)$`)},
+	{"BOOL", regexp.MustCompile(`^(true|false|TRUE|FALSE|True|False|Y|N|yes|no)$`)},
+	{"QUOTEDSTRING", regexp.MustCompile(`^"[^"]*"$`)},
+	{"POSTALCODE_UK", regexp.MustCompile(`^[A-Z]{1,2}\d{1,2} \d[A-Z]{2}$`)},
+	{"PERCENT", regexp.MustCompile(`^\d+(\.\d+)?%$`)},
+	{"VERSION", regexp.MustCompile(`^\d+\.\d+(\.\d+)+$`)},
+	{"CURRENCY", regexp.MustCompile(`^[$£€]\d+(,\d{3})*(\.\d+)?$`)},
+	{"LOCALE", regexp.MustCompile(`^[a-z]{2}[-_][A-Z]{2}$`)},
+}
+
+// Train implements Method: pick the first library pattern matching every
+// training value (library order encodes specificity priority).
+func (Grok) Train(values []string) (Rule, error) {
+	if len(values) == 0 {
+		return nil, ErrNoRule
+	}
+	for _, g := range grokLibrary {
+		all := true
+		for _, v := range values {
+			if !g.re.MatchString(v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return grokRule{g}, nil
+		}
+	}
+	return nil, ErrNoRule
+}
+
+type grokRule struct{ g grokPattern }
+
+func (r grokRule) Flags(values []string) bool {
+	for _, v := range values {
+		if !r.g.re.MatchString(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// GrokKnown reports whether any library pattern matches every value —
+// the "common pattern" test used by the AD-UB coverage bound (§5.2),
+// which requires both sides of a pair to have recognizable patterns.
+func GrokKnown(values []string) (string, bool) {
+	for _, g := range grokLibrary {
+		all := true
+		for _, v := range values {
+			if !g.re.MatchString(v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return g.name, true
+		}
+	}
+	return "", false
+}

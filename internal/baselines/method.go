@@ -1,0 +1,76 @@
+// Package baselines re-implements the comparison methods of the paper's
+// §5.2 — the inferred-rule semantics of TFDV and Deequ, the pattern
+// profilers (Potter's Wheel, SSIS, XSystem, FlashProfile), the Grok
+// curated-regex library, instance- and pattern-based schema matching, and
+// the AD-UB coverage bound — so every point of Figure 10 can be
+// regenerated.
+package baselines
+
+import (
+	"errors"
+
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/tokens"
+)
+
+// Rule is a learned validation rule: it judges whether a batch of future
+// values should be flagged as anomalous.
+type Rule interface {
+	// Flags reports whether the rule alarms on the batch.
+	Flags(values []string) bool
+}
+
+// Method is one §5.2 comparison method.
+type Method interface {
+	// Name is the label used in the paper's figures.
+	Name() string
+	// Train learns a rule from training values. ErrNoRule means the
+	// method declines to produce a rule for this column (it then never
+	// flags anything: precision 1, recall 0 for the case).
+	Train(values []string) (Rule, error)
+}
+
+// ErrNoRule is returned when a method cannot produce a rule.
+var ErrNoRule = errors.New("baselines: no rule inferred")
+
+// CorpusMethod is a method that additionally consumes the background
+// corpus (the schema-matching family).
+type CorpusMethod interface {
+	Method
+	// SetCorpus provides the background corpus before training.
+	SetCorpus(cols []*corpus.Column)
+}
+
+// distinct returns the deduplicated values preserving first-seen order.
+func distinct(values []string) []string {
+	seen := make(map[string]struct{}, len(values))
+	var out []string
+	for _, v := range values {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// majorityShape returns the coarse token shape held by more than half of
+// the values ("" if none), and plurality the most frequent shape.
+func majorityShape(values []string) (majority, plurality string) {
+	counts := map[string]int{}
+	for _, v := range values {
+		counts[tokens.ClassShape(tokens.Lex(v))]++
+	}
+	best, bestN := "", -1
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	plurality = best
+	if bestN*2 > len(values) {
+		majority = best
+	}
+	return majority, plurality
+}

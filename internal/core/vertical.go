@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"autovalidate/internal/index"
+	"autovalidate/internal/msa"
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/tokens"
+	"autovalidate/internal/validate"
+)
+
+// inferVertical implements FMDV-V (theta = 0) and FMDV-VH (theta > 0):
+// values are tokenized, multi-sequence aligned, and split into an
+// m-segmentation by the dynamic program of Eq. 11; each segment's pattern
+// is selected by FMDV against the index, and the per-segment FPRs are
+// aggregated (sum by default, Eq. 8) under the overall target r.
+//
+// The horizontal step follows the paper's greedy (§4): whole token-shape
+// groups are discarded smallest-first while the kept fraction stays at
+// least 1-θ, which removes ad-hoc non-conforming values (they rarely
+// share a shape with conforming ones) before alignment.
+func inferVertical(values []string, idx *index.Index, opt Options, theta float64) (*validate.Rule, error) {
+	// Solve under both tokenizations: the fine lexer preserves the most
+	// structure, but columns like GUIDs have wildly diverse fine shapes
+	// and a single coarse shape under alnum merging. Keep whichever
+	// solution has the lower aggregated FPR (more specific on ties).
+	fine, errF := inferVerticalTok(values, idx, opt, theta, false)
+	merged, errM := inferVerticalTok(values, idx, opt, theta, true)
+	switch {
+	case errF != nil && errM != nil:
+		return nil, errF
+	case errF != nil:
+		return merged, nil
+	case errM != nil:
+		return fine, nil
+	case merged.EstimatedFPR < fine.EstimatedFPR-fprEpsilon:
+		return merged, nil
+	case fine.EstimatedFPR < merged.EstimatedFPR-fprEpsilon:
+		return fine, nil
+	case generality(merged.Pattern) < generality(fine.Pattern):
+		return merged, nil
+	default:
+		return fine, nil
+	}
+}
+
+func inferVerticalTok(values []string, idx *index.Index, opt Options, theta float64, merge bool) (*validate.Rule, error) {
+	uniq, weights, total := dedupeValues(values)
+	if total == 0 {
+		return nil, ErrEmptyColumn
+	}
+	minKept := total - int(theta*float64(total))
+
+	// Group unique values by token shape.
+	type group struct {
+		shape   string
+		symbols []string
+		members []int
+		weight  int
+		bad     bool // empty or beyond the alignment cap: must be cut
+	}
+	byShape := map[string]*group{}
+	runsOf := make([][]tokens.Run, len(uniq))
+	for i, v := range uniq {
+		runs := tokens.Lex(v)
+		if merge {
+			runs = tokens.MergeAlnum(runs)
+		}
+		runsOf[i] = runs
+		key := tokens.Shape(runs)
+		g, ok := byShape[key]
+		if !ok {
+			g = &group{shape: key, symbols: shapeSymbols(runs)}
+			g.bad = len(runs) == 0 || (opt.MaxAlignCols > 0 && len(runs) > opt.MaxAlignCols)
+			byShape[key] = g
+		}
+		g.members = append(g.members, i)
+		g.weight += weights[i]
+	}
+	groups := make([]*group, 0, len(byShape))
+	for _, g := range byShape {
+		groups = append(groups, g)
+	}
+	// Mandatory cuts first, then smallest-first optional cuts.
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].bad != groups[j].bad {
+			return groups[i].bad
+		}
+		if groups[i].weight != groups[j].weight {
+			return groups[i].weight < groups[j].weight
+		}
+		return groups[i].shape < groups[j].shape
+	})
+	kept := total
+	var keptGroups []*group
+	for gi, g := range groups {
+		last := gi == len(groups)-1
+		if !last && kept-g.weight >= minKept && (g.bad || theta > 0) {
+			kept -= g.weight
+			continue
+		}
+		if g.bad {
+			return nil, fmt.Errorf("%w (non-conforming values exceed tolerance θ=%.2f)", ErrNoFeasible, theta)
+		}
+		keptGroups = append(keptGroups, g)
+	}
+	if len(keptGroups) == 0 {
+		return nil, ErrNoFeasible
+	}
+
+	// Align the kept shapes (trivial when only one remains, the common
+	// machine-generated case of the paper's Example 7).
+	seqs := make([][]string, len(keptGroups))
+	for i, g := range keptGroups {
+		seqs[i] = g.symbols
+	}
+	align := msa.Align(seqs)
+	ncols := align.Cols
+	if ncols == 0 {
+		return nil, ErrNoFeasible
+	}
+	if opt.MaxAlignCols > 0 && ncols > opt.MaxAlignCols {
+		return nil, fmt.Errorf("%w (aligned width %d exceeds cap %d)", ErrNoFeasible, ncols, opt.MaxAlignCols)
+	}
+
+	// colText[i][c] is value i's text at aligned column c ("" on gaps).
+	var keptIdx []int
+	colText := map[int][]string{}
+	for gi, g := range keptGroups {
+		row := align.Rows[gi]
+		for _, i := range g.members {
+			texts := make([]string, ncols)
+			for c := 0; c < ncols; c++ {
+				if ri := row[c]; ri != msa.Gap {
+					texts[c] = runsOf[i][ri].Text
+				}
+			}
+			colText[i] = texts
+			keptIdx = append(keptIdx, i)
+		}
+	}
+
+	dp := newSegmentDP(idx, opt, keptIdx, weights, colText, ncols)
+	result := dp.solve()
+	if !result.ok {
+		return nil, fmt.Errorf("%w (no feasible segmentation)", ErrNoFeasible)
+	}
+	if result.agg > opt.R {
+		return nil, fmt.Errorf("%w (best segmentation FPR %.4f exceeds r=%.4f)", ErrNoFeasible, result.agg, opt.R)
+	}
+	full := pattern.Concat(result.pats...)
+	rule := buildRule(opt, full, result.agg, total-kept, total, result.pats)
+	return rule, nil
+}
+
+func dedupeValues(values []string) (uniq []string, weights []int, total int) {
+	at := make(map[string]int, len(values))
+	for _, v := range values {
+		if i, ok := at[v]; ok {
+			weights[i]++
+		} else {
+			at[v] = len(uniq)
+			uniq = append(uniq, v)
+			weights = append(weights, 1)
+		}
+		total++
+	}
+	return uniq, weights, total
+}
+
+// shapeSymbols encodes runs as MSA symbols: classes compare by kind, and
+// symbol runs keep their identity so ":" aligns with ":" not "/".
+func shapeSymbols(runs []tokens.Run) []string {
+	out := make([]string, len(runs))
+	for i, r := range runs {
+		switch r.Class {
+		case tokens.ClassDigit:
+			out[i] = "d"
+		case tokens.ClassLetter:
+			out[i] = "l"
+		case tokens.ClassAlnum:
+			out[i] = "a"
+		case tokens.ClassSpace:
+			out[i] = "_"
+		default:
+			out[i] = "s" + r.Text
+		}
+	}
+	return out
+}
+
+// segmentDP runs the bottom-up dynamic program of Eq. 11 over aligned
+// token columns.
+type segmentDP struct {
+	idx     *index.Index
+	opt     Options
+	keptIdx []int
+	weights []int
+	colText map[int][]string
+	ncols   int
+}
+
+func newSegmentDP(idx *index.Index, opt Options, keptIdx []int, weights []int, colText map[int][]string, ncols int) *segmentDP {
+	return &segmentDP{idx: idx, opt: opt, keptIdx: keptIdx, weights: weights, colText: colText, ncols: ncols}
+}
+
+type segResult struct {
+	ok   bool
+	agg  float64
+	pats []pattern.Pattern
+}
+
+func (dp *segmentDP) solve() segResult {
+	n := dp.ncols
+	best := make([][]segResult, n)
+	for s := range best {
+		best[s] = make([]segResult, n)
+	}
+	for width := 1; width <= n; width++ {
+		for s := 0; s+width-1 < n; s++ {
+			e := s + width - 1
+			cur := dp.leaf(s, e)
+			for t := s; t < e; t++ {
+				l, r := best[s][t], best[t+1][e]
+				if !l.ok || !r.ok {
+					continue
+				}
+				agg := l.agg + r.agg
+				if dp.opt.Aggregate == MaxFPR {
+					agg = l.agg
+					if r.agg > agg {
+						agg = r.agg
+					}
+				}
+				if !cur.ok || agg < cur.agg {
+					pats := make([]pattern.Pattern, 0, len(l.pats)+len(r.pats))
+					pats = append(pats, l.pats...)
+					pats = append(pats, r.pats...)
+					cur = segResult{ok: true, agg: agg, pats: pats}
+				}
+			}
+			best[s][e] = cur
+		}
+	}
+	return best[0][n-1]
+}
+
+// leaf computes min_{h ∈ P(C[s,e])} FPR_T(h): the no-split option of
+// Eq. 11, by enumerating the segment's hypothesis space and scoring it
+// against the index.
+func (dp *segmentDP) leaf(s, e int) segResult {
+	if e-s+1 > dp.opt.Tau {
+		return segResult{} // longer than any indexed pattern (§2.4)
+	}
+	// Assemble the sub-column (with multiplicity).
+	var sub []string
+	var emptyW, totalW int
+	for _, i := range dp.keptIdx {
+		var text string
+		for c := s; c <= e; c++ {
+			text += dp.colText[i][c]
+		}
+		w := dp.weights[i]
+		totalW += w
+		if text == "" {
+			emptyW += w
+			continue
+		}
+		for k := 0; k < w; k++ {
+			sub = append(sub, text)
+		}
+	}
+	if len(sub) == 0 {
+		return segResult{}
+	}
+
+	// Constant separator fast path: a segment of pure punctuation or
+	// whitespace that is byte-identical in every kept value is a
+	// zero-risk glue token. The corpus index has no standalone column
+	// for "[" or "|", so we admit it directly — this is the laptop-
+	// scale stand-in for the paper's lake, where every narrow slice of
+	// machine-generated data occurs as some column. Separators gapped
+	// in part of the alignment (an optional " PM" suffix's space)
+	// become optional literals.
+	if allEqual(sub) && isSeparator(sub[0]) {
+		p := pattern.New(pattern.Lit(sub[0]))
+		if emptyW > 0 {
+			p = pattern.Optional(p)
+		}
+		return segResult{ok: true, agg: 0, pats: []pattern.Pattern{p}}
+	}
+
+	enum := dp.opt.Enum
+	enum.MaxTokens = dp.opt.Tau
+	enum.MinSupport = 1.0
+	res := pattern.Enumerate(sub, enum)
+	bestC, err := selectBest(res.Candidates, dp.idx, dp.opt, res.Total)
+	if err != nil {
+		return segResult{}
+	}
+	pat := bestC.pat
+	if emptyW > 0 {
+		// Some aligned rows are gapped here: make the segment optional.
+		pat = pattern.Optional(pat)
+	}
+	return segResult{ok: true, agg: bestC.fpr, pats: []pattern.Pattern{pat}}
+}
+
+func allEqual(xs []string) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func isSeparator(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch tokens.ClassOf(s[i]) {
+		case tokens.ClassSymbol, tokens.ClassSpace:
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/validate"
+)
+
+func TestVerticalSegmentsConcatenateToFullPattern(t *testing.T) {
+	idx := testIndex(t)
+	vals := fresh(t, "composite_booking", 60, 12)
+	rule, err := Infer(vals, idx, testOptions(FMDVV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concat := pattern.Concat(rule.Segments...)
+	if concat.String() != rule.Pattern.String() {
+		t.Errorf("segments %q do not concatenate to rule pattern %q", concat, rule.Pattern)
+	}
+}
+
+func TestVerticalDPPrefersUnsplitWhenCheaper(t *testing.T) {
+	// A narrow single-domain column must come out of FMDV-V identical
+	// to basic FMDV: the DP's no-split leaf is the whole column.
+	idx := testIndex(t)
+	vals := fresh(t, "locale", 80, 13)
+	basic, err := Infer(vals, idx, testOptions(FMDV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vert, err := Infer(vals, idx, testOptions(FMDVV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vert.EstimatedFPR > basic.EstimatedFPR+fprEpsilon {
+		t.Errorf("FMDV-V (%v) should not be worse than FMDV (%v) on a narrow column",
+			vert.EstimatedFPR, basic.EstimatedFPR)
+	}
+	for _, v := range vals {
+		if !vert.Pattern.Match(v) {
+			t.Fatalf("vertical pattern %q misses training value %q", vert.Pattern, v)
+		}
+	}
+}
+
+func TestVerticalOptionalSuffixViaAlignment(t *testing.T) {
+	// Half the values carry a " PM" suffix (within θ nothing can be
+	// cut), so the alignment produces gap columns and the rule must
+	// accept both forms.
+	idx := testIndex(t)
+	vals := make([]string, 80)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = fmt.Sprintf("%d:%02d:%02d", 1+i%12, i%60, (i*7)%60)
+		} else {
+			vals[i] = fmt.Sprintf("%d:%02d:%02d PM", 1+i%12, i%60, (i*7)%60)
+		}
+	}
+	opt := testOptions(FMDVVH)
+	rule, err := Infer(vals, idx, opt)
+	if err != nil {
+		t.Fatalf("mixed optional-suffix column should be inferable: %v", err)
+	}
+	if !rule.Pattern.Match("9:15:22") || !rule.Pattern.Match("9:15:22 PM") {
+		t.Errorf("pattern %q should accept both suffix forms", rule.Pattern)
+	}
+}
+
+func TestVerticalAlignmentCapRejectsMonsterColumns(t *testing.T) {
+	idx := testIndex(t)
+	long := strings.Repeat("ab-", 60) + "ab" // 241 tokens
+	vals := []string{long, long, long}
+	opt := testOptions(FMDVV)
+	if _, err := Infer(vals, idx, opt); !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("columns beyond MaxAlignCols should be infeasible, got %v", err)
+	}
+}
+
+func TestVerticalMergedTokenizationWinsOnGuids(t *testing.T) {
+	idx := testIndex(t)
+	vals := fresh(t, "guid", 80, 14)
+	rule, err := Infer(vals, idx, testOptions(FMDVVH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged tokenization should produce the 9-token GUID skeleton
+	// (alnum blocks joined by dashes), not a fine-grained mess.
+	if got := len(rule.Pattern.Toks); got > 9 {
+		t.Errorf("GUID pattern has %d tokens (%q); merged tokenization should cap at 9", got, rule.Pattern)
+	}
+	for _, v := range fresh(t, "guid", 100, 15) {
+		if !rule.Pattern.Match(v) {
+			t.Errorf("GUID pattern %q misses %q", rule.Pattern, v)
+		}
+	}
+}
+
+func TestSeparatorFastPath(t *testing.T) {
+	if !isSeparator("|") || !isSeparator(" ") || !isSeparator("[") {
+		t.Error("punctuation should be separators")
+	}
+	if isSeparator("a") || isSeparator("1") || isSeparator("") {
+		t.Error("non-punctuation should not be separators")
+	}
+	if !allEqual([]string{"|", "|"}) || allEqual([]string{"|", "-"}) {
+		t.Error("allEqual broken")
+	}
+}
+
+func TestDedupeValues(t *testing.T) {
+	uniq, weights, total := dedupeValues([]string{"a", "b", "a", "a"})
+	if total != 4 || len(uniq) != 2 {
+		t.Fatalf("dedupe: %v %v %d", uniq, weights, total)
+	}
+	if uniq[0] != "a" || weights[0] != 3 || weights[1] != 1 {
+		t.Errorf("dedupe order/weights wrong: %v %v", uniq, weights)
+	}
+}
+
+func TestGeneralityOrdering(t *testing.T) {
+	cases := []struct {
+		less, more string
+	}{
+		{"Mar", "<letter>{3}"},
+		{"<letter>{3}", "<letter>+"},
+		{"<letter>+", "<alnum>+"},
+		{"<digit>{2}", "<num>"},
+	}
+	for _, c := range cases {
+		a := pattern.MustParse(c.less)
+		b := pattern.MustParse(c.more)
+		if generality(a) >= generality(b) {
+			t.Errorf("generality(%q)=%d should be < generality(%q)=%d",
+				c.less, generality(a), c.more, generality(b))
+		}
+	}
+}
+
+func TestRuleSegmentsRoundTripThroughSave(t *testing.T) {
+	idx := testIndex(t)
+	vals := fresh(t, "timestamp_us", 80, 16)
+	rule, err := Infer(vals, idx, testOptions(FMDVVH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/rule.json"
+	if err := rule.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := validate.LoadRule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Segments) != len(rule.Segments) {
+		t.Errorf("segments lost: %d vs %d", len(got.Segments), len(rule.Segments))
+	}
+	for _, v := range vals {
+		if got.Pattern.Match(v) != rule.Pattern.Match(v) {
+			t.Fatalf("reloaded rule disagrees on %q", v)
+		}
+	}
+}

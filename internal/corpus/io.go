@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir reads every .csv and .tsv file under dir (non-recursive) into a
+// corpus. The first record of each file is its header; each header cell
+// names a column. Ragged rows are tolerated (missing cells become empty
+// strings), matching the manually-edited files of the Government corpus.
+func LoadDir(dir string) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: reading %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		if ext == ".csv" || ext == ".tsv" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	c := &Corpus{}
+	for _, name := range names {
+		t, err := LoadTable(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c.Add(t)
+	}
+	return c, nil
+}
+
+// LoadTable reads a single CSV or TSV file into a Table.
+func LoadTable(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	sep := ','
+	if strings.EqualFold(filepath.Ext(path), ".tsv") {
+		sep = '\t'
+	}
+	t, err := ReadTable(f, name, sep)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// ReadTable parses delimiter-separated values from r into a Table named
+// name. The first record is the header.
+func ReadTable(r io.Reader, name string, sep rune) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = sep
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	cr.LazyQuotes = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return &Table{Name: name}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name}
+	for _, h := range header {
+		t.Columns = append(t.Columns, &Column{Table: name, Name: strings.TrimSpace(h)})
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, col := range t.Columns {
+			if i < len(rec) {
+				col.Values = append(col.Values, rec[i])
+			} else {
+				col.Values = append(col.Values, "")
+			}
+		}
+	}
+	return t, nil
+}
+
+// SaveDir writes each table of the corpus as a CSV file under dir,
+// creating the directory if needed.
+func (c *Corpus) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	for _, t := range c.Tables {
+		if err := t.SaveCSV(filepath.Join(dir, t.Name+".csv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes the table as a CSV file with a header row.
+func (t *Table) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := t.write(w); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("corpus: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+func (t *Table) write(w *csv.Writer) error {
+	header := make([]string, len(t.Columns))
+	for i, col := range t.Columns {
+		header[i] = col.Name
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	rows := t.NumRows()
+	rec := make([]string, len(t.Columns))
+	for r := 0; r < rows; r++ {
+		for i, col := range t.Columns {
+			if r < len(col.Values) {
+				rec[i] = col.Values[r]
+			} else {
+				rec[i] = ""
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

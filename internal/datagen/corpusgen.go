@@ -1,0 +1,251 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"autovalidate/internal/corpus"
+)
+
+// Profile configures a synthetic lake.
+type Profile struct {
+	// Name labels the corpus ("enterprise", "government").
+	Name string
+	// NumTables is the number of data files to generate.
+	NumTables int
+	// ColsPerTableMin/Max bound columns per table, RowsMin/Max rows.
+	ColsPerTableMin, ColsPerTableMax int
+	RowsMin, RowsMax                 int
+	// Machine and NL are the domain pools; NLShare is the fraction of
+	// columns drawn from NL (the paper measures ~33% NL on Enterprise).
+	Machine []Domain
+	NL      []Domain
+	NLShare float64
+	// DirtyShare is the fraction of machine columns that carry ad-hoc
+	// special values (Figure 9); DirtyRate is the in-column rate of
+	// such values.
+	DirtyShare float64
+	DirtyRate  float64
+	// HeaderJunkShare is the fraction of columns where a stray
+	// header-like token leaks into the values — the parsing artifact
+	// the paper's manual Table 2 cleanup removes.
+	HeaderJunkShare float64
+	// TypoRate perturbs values with case flips and stray blanks (the
+	// Government lake's manually-edited files).
+	TypoRate float64
+	// DerivedShare is the probability that a machine column gets a
+	// functionally dependent companion column (a deterministic
+	// categorization of its values), giving the lake the multi-column
+	// FDs that the FD-UB bound of §5.2 measures.
+	DerivedShare float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Specials are the ad-hoc non-conforming values of Figure 9.
+var Specials = []string{"-", "NULL", "N/A", "", "none", "?"}
+
+// Enterprise returns the Enterprise-lake profile TE at the given scale
+// (number of tables). Columns are long and clean; ~1/3 NL.
+func Enterprise(numTables int, seed int64) Profile {
+	return Profile{
+		Name:            "enterprise",
+		NumTables:       numTables,
+		ColsPerTableMin: 6, ColsPerTableMax: 16,
+		RowsMin: 60, RowsMax: 300,
+		Machine:         EnterpriseDomains(),
+		NL:              NLDomains(),
+		NLShare:         0.33,
+		DirtyShare:      0.10,
+		DirtyRate:       0.03,
+		HeaderJunkShare: 0.02,
+		TypoRate:        0,
+		DerivedShare:    0.10,
+		Seed:            seed,
+	}
+}
+
+// Government returns the Government-lake profile TG: fewer files, short
+// columns, heavy duplication, typos, and a larger NL share — the "smaller
+// and less clean" corpus of §5.3.
+func Government(numTables int, seed int64) Profile {
+	return Profile{
+		Name:            "government",
+		NumTables:       numTables,
+		ColsPerTableMin: 4, ColsPerTableMax: 12,
+		RowsMin: 20, RowsMax: 120,
+		Machine:         append(GovernmentDomains(), sharedGovMachine()...),
+		NL:              NLDomains(),
+		NLShare:         0.40,
+		DirtyShare:      0.20,
+		DirtyRate:       0.05,
+		HeaderJunkShare: 0.05,
+		TypoRate:        0.02,
+		DerivedShare:    0.10,
+		Seed:            seed,
+	}
+}
+
+// sharedGovMachine returns the subset of Enterprise domains that
+// plausibly occur in government data too.
+func sharedGovMachine() []Domain {
+	keep := map[string]bool{
+		"date_iso": true, "int_plain": true, "float_metric": true,
+		"flag_bool": true, "percent": true, "time_hms": true,
+	}
+	var out []Domain
+	for _, d := range EnterpriseDomains() {
+		if keep[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Generate synthesizes a corpus from the profile.
+func Generate(p Profile) *corpus.Corpus {
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := &corpus.Corpus{}
+	for t := 0; t < p.NumTables; t++ {
+		ncols := p.ColsPerTableMin + rng.Intn(p.ColsPerTableMax-p.ColsPerTableMin+1)
+		nrows := p.RowsMin + rng.Intn(p.RowsMax-p.RowsMin+1)
+		tbl := &corpus.Table{Name: fmt.Sprintf("%s_%05d", p.Name, t)}
+		for ci := 0; ci < ncols; ci++ {
+			col := generateColumn(p, rng, tbl.Name, ci, nrows)
+			tbl.Columns = append(tbl.Columns, col)
+			if d := col.Domain; rng.Float64() < p.DerivedShare &&
+				!strings.HasPrefix(d, "nl_") && !strings.HasPrefix(d, "dirty:") {
+				tbl.Columns = append(tbl.Columns, derivedColumn(col, len(tbl.Columns)))
+			}
+		}
+		c.Add(tbl)
+	}
+	return c
+}
+
+func generateColumn(p Profile, rng *rand.Rand, table string, ci, nrows int) *corpus.Column {
+	var d Domain
+	if rng.Float64() < p.NLShare && len(p.NL) > 0 {
+		d = p.NL[rng.Intn(len(p.NL))]
+	} else {
+		d = p.Machine[rng.Intn(len(p.Machine))]
+	}
+	values := d.Gen(rng, nrows)
+	domain := d.Name
+	if d.MachineGenerated && rng.Float64() < p.DirtyShare {
+		injectSpecials(rng, values, p.DirtyRate)
+		domain = "dirty:" + d.Name
+	}
+	if rng.Float64() < p.HeaderJunkShare {
+		// A header token leaks into the data, as happens when files
+		// are parsed with a wrong header setting.
+		values[rng.Intn(len(values))] = headerJunk(rng)
+	}
+	if p.TypoRate > 0 {
+		injectTypos(rng, values, p.TypoRate)
+	}
+	return &corpus.Column{
+		Table:  table,
+		Name:   fmt.Sprintf("c%02d_%s", ci, d.Name),
+		Values: values,
+		Domain: domain,
+	}
+}
+
+// derivedVocab is the category vocabulary of derived companion columns;
+// it reuses the ads_status enum so the derived column is itself a
+// recognizable machine domain.
+var derivedVocab = []string{"Delivered", "Bounced", "Clicked", "Queued", "Expired", "Filtered", "Suppressed", "OnBooking", "Prebook"}
+
+// derivedColumn returns a column functionally determined by src: each
+// distinct source value maps to one category (so src -> derived is an
+// exact FD in the table instance).
+func derivedColumn(src *corpus.Column, ci int) *corpus.Column {
+	values := make([]string, len(src.Values))
+	for i, v := range src.Values {
+		h := uint32(2166136261)
+		for j := 0; j < len(v); j++ {
+			h = (h ^ uint32(v[j])) * 16777619
+		}
+		values[i] = derivedVocab[h%uint32(len(derivedVocab))]
+	}
+	return &corpus.Column{
+		Table:  src.Table,
+		Name:   fmt.Sprintf("c%02d_%s_category", ci, src.Name),
+		Values: values,
+		Domain: "ads_status",
+	}
+}
+
+func injectSpecials(rng *rand.Rand, values []string, rate float64) {
+	injected := false
+	for i := range values {
+		if rng.Float64() < rate {
+			values[i] = Specials[rng.Intn(len(Specials))]
+			injected = true
+		}
+	}
+	// A column marked dirty always carries at least one special, so the
+	// "dirty" label is trustworthy at every column length.
+	if !injected && len(values) > 0 {
+		values[rng.Intn(len(values))] = Specials[rng.Intn(len(Specials))]
+	}
+}
+
+// headerJunkValues are the parsing artifacts a wrong header setting can
+// leak into column values.
+var headerJunkValues = []string{"column_name", "VALUE", "field_01", "header", "unnamed: 0"}
+
+func headerJunk(rng *rand.Rand) string {
+	return headerJunkValues[rng.Intn(len(headerJunkValues))]
+}
+
+// IsHeaderJunk reports whether a value is a known parsing artifact — the
+// kind of test-set value the paper's manually-curated Table 2 evaluation
+// removes before judging precision.
+func IsHeaderJunk(v string) bool {
+	for _, h := range headerJunkValues {
+		if v == h {
+			return true
+		}
+	}
+	return false
+}
+
+func injectTypos(rng *rand.Rand, values []string, rate float64) {
+	for i, v := range values {
+		if v == "" || rng.Float64() >= rate {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			values[i] = " " + v // stray leading blank
+		case 1:
+			values[i] = v + " " // stray trailing blank
+		default:
+			// Flip the case of one letter.
+			b := []byte(v)
+			j := rng.Intn(len(b))
+			switch {
+			case b[j] >= 'a' && b[j] <= 'z':
+				b[j] -= 32
+			case b[j] >= 'A' && b[j] <= 'Z':
+				b[j] += 32
+			}
+			values[i] = string(b)
+		}
+	}
+}
+
+// FreshColumn draws a brand-new column of the named domain, independent
+// of any corpus — the "future data from the same domain" used to measure
+// false-positive behaviour.
+func FreshColumn(domainName string, n int, seed int64) ([]string, error) {
+	d, ok := DomainByName(domainName)
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown domain %q", domainName)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return d.Gen(rng, n), nil
+}

@@ -1,0 +1,156 @@
+// Package dictval implements corpus-driven dictionary validation for
+// natural-language-like columns — the paper's §6 observation that for
+// data drawn from a fixed vocabulary (countries, airport codes,
+// department names), dictionary-based validation learned by set
+// expansion is the right tool where syntactic patterns are not.
+//
+// The dictionary is expanded corpus-driven, in the same spirit as the
+// main algorithm: corpus columns that overlap the training examples on
+// enough distinct values are deemed same-domain, and their values join
+// the dictionary. Validation then applies the familiar §4 discipline: a
+// two-sample test on the out-of-dictionary fraction, so an occasional
+// novel value passes but a distribution shift alarms.
+package dictval
+
+import (
+	"errors"
+	"fmt"
+
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/stats"
+)
+
+// Rule is a learned dictionary rule.
+type Rule struct {
+	// Dict is the expanded domain vocabulary.
+	Dict map[string]struct{}
+	// TrainOOD / TrainTotal give the training out-of-dictionary
+	// statistics (normally zero, since training values seed the
+	// dictionary — they become non-zero when rules are re-fit).
+	TrainOOD   int
+	TrainTotal int
+	// ExpandedFrom is the number of corpus columns merged in.
+	ExpandedFrom int
+	Alpha        float64
+	Test         stats.TwoSampleTest
+}
+
+// Options configure dictionary inference.
+type Options struct {
+	// MinOverlap is the number of distinct shared values for a corpus
+	// column to be deemed same-domain (the SM-I-k criterion of §5.2,
+	// reused constructively).
+	MinOverlap int
+	// MinColumnPurity requires that fraction of a candidate column's
+	// values to already be explainable before merging, protecting the
+	// dictionary from broad mixed columns.
+	MinColumnPurity float64
+	Alpha           float64
+	Test            stats.TwoSampleTest
+}
+
+// DefaultOptions returns the settings used by the examples and the
+// facade.
+func DefaultOptions() Options {
+	return Options{MinOverlap: 2, MinColumnPurity: 0.5, Alpha: 0.01, Test: stats.Fisher}
+}
+
+// ErrEmptyColumn is returned for empty training data.
+var ErrEmptyColumn = errors.New("dictval: empty column")
+
+// Infer learns a dictionary rule from training values, expanding the
+// vocabulary with same-domain corpus columns.
+func Infer(values []string, cols []*corpus.Column, opt Options) (*Rule, error) {
+	if len(values) == 0 {
+		return nil, ErrEmptyColumn
+	}
+	dict := map[string]struct{}{}
+	for _, v := range values {
+		dict[v] = struct{}{}
+	}
+	seed := len(dict)
+	expanded := 0
+	for _, col := range cols {
+		overlap := 0
+		seen := map[string]struct{}{}
+		for _, v := range col.Values {
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			if _, ok := dict[v]; ok {
+				overlap++
+			}
+		}
+		if overlap < opt.MinOverlap || len(seen) == 0 {
+			continue
+		}
+		// Purity over distinct values: at least this share of the
+		// candidate's vocabulary must already be explainable.
+		if float64(overlap) < opt.MinColumnPurity*float64(len(seen)) {
+			continue
+		}
+		for v := range seen {
+			dict[v] = struct{}{}
+		}
+		expanded++
+	}
+	_ = seed
+	return &Rule{
+		Dict:         dict,
+		TrainTotal:   len(values),
+		ExpandedFrom: expanded,
+		Alpha:        opt.Alpha,
+		Test:         opt.Test,
+	}, nil
+}
+
+// Report is the outcome of validating a batch against a dictionary rule.
+type Report struct {
+	Total           int
+	OutOfDictionary int
+	PValue          float64
+	Alarm           bool
+	Examples        []string
+}
+
+// String renders a one-line summary.
+func (rep Report) String() string {
+	verdict := "ok"
+	if rep.Alarm {
+		verdict = "ALARM"
+	}
+	return fmt.Sprintf("%s: %d/%d out of dictionary (p=%.3g)", verdict, rep.OutOfDictionary, rep.Total, rep.PValue)
+}
+
+const maxExamples = 5
+
+// Validate applies the rule to a batch.
+func (r *Rule) Validate(values []string) (Report, error) {
+	if len(values) == 0 {
+		return Report{}, ErrEmptyColumn
+	}
+	rep := Report{Total: len(values)}
+	for _, v := range values {
+		if _, ok := r.Dict[v]; !ok {
+			rep.OutOfDictionary++
+			if len(rep.Examples) < maxExamples {
+				rep.Examples = append(rep.Examples, v)
+			}
+		}
+	}
+	p, err := stats.HomogeneityPValue(r.Test, r.TrainOOD, r.TrainTotal, rep.OutOfDictionary, rep.Total)
+	if err != nil {
+		return Report{}, fmt.Errorf("dictval: %w", err)
+	}
+	rep.PValue = p
+	trainFrac := float64(r.TrainOOD) / float64(r.TrainTotal)
+	rep.Alarm = p < r.Alpha && float64(rep.OutOfDictionary)/float64(rep.Total) > trainFrac
+	return rep, nil
+}
+
+// Flags reports whether the rule alarms on the batch.
+func (r *Rule) Flags(values []string) bool {
+	rep, err := r.Validate(values)
+	return err == nil && rep.Alarm
+}

@@ -1,0 +1,120 @@
+package dictval
+
+import (
+	"errors"
+	"testing"
+
+	"autovalidate/internal/corpus"
+)
+
+func lakeWithCountryColumns() []*corpus.Column {
+	return []*corpus.Column{
+		{Table: "t1", Name: "c1", Values: []string{"France", "Germany", "Italy", "Spain", "France", "Italy"}},
+		{Table: "t2", Name: "c2", Values: []string{"Japan", "France", "Brazil", "Germany", "Japan"}},
+		{Table: "t3", Name: "c3", Values: []string{"Canada", "Mexico", "France", "Germany"}},
+		// A mixed column that merely mentions two countries must not be
+		// merged (purity guard).
+		{Table: "t4", Name: "junk", Values: []string{"France", "Germany", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"}},
+		// An unrelated column.
+		{Table: "t5", Name: "ids", Values: []string{"001", "002", "003"}},
+	}
+}
+
+func TestInferExpandsDictionary(t *testing.T) {
+	train := []string{"France", "Germany", "Italy"}
+	r, err := Infer(train, lakeWithCountryColumns(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expansion should pull in Japan/Brazil/Canada/Mexico via the
+	// overlapping clean columns.
+	for _, want := range []string{"Japan", "Brazil", "Canada", "Mexico", "Spain"} {
+		if _, ok := r.Dict[want]; !ok {
+			t.Errorf("dictionary missing expanded value %q", want)
+		}
+	}
+	// The junk column must not have been merged.
+	if _, ok := r.Dict["x1"]; ok {
+		t.Error("low-purity column leaked into the dictionary")
+	}
+	if r.ExpandedFrom < 2 {
+		t.Errorf("ExpandedFrom = %d, want ≥2", r.ExpandedFrom)
+	}
+}
+
+func TestValidatePassesExpandedValues(t *testing.T) {
+	r, err := Infer([]string{"France", "Germany", "Italy"}, lakeWithCountryColumns(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point vs TFDV dictionaries: values never seen in
+	// training but present in same-domain lake columns pass.
+	rep, err := r.Validate([]string{"Japan", "Brazil", "France", "Canada"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("expanded-domain values should pass: %v", rep)
+	}
+}
+
+func TestValidateFlagsDomainShift(t *testing.T) {
+	r, err := Infer([]string{"France", "Germany", "Italy"}, lakeWithCountryColumns(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]string, 100)
+	for i := range batch {
+		batch[i] = "Zebra Crossing 9000"
+	}
+	rep, err := r.Validate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm || rep.OutOfDictionary != 100 {
+		t.Errorf("domain shift not flagged: %v", rep)
+	}
+	if len(rep.Examples) == 0 {
+		t.Error("examples missing")
+	}
+	if !r.Flags(batch) {
+		t.Error("Flags should agree with Validate")
+	}
+}
+
+func TestValidateToleratesRareNovelValue(t *testing.T) {
+	r, err := Infer([]string{"France", "Germany", "Italy"}, lakeWithCountryColumns(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TrainTotal = 1000 // plenty of training evidence
+	batch := make([]string, 1000)
+	for i := range batch {
+		batch[i] = "France"
+	}
+	batch[3] = "Portugal" // a genuinely new country: 0.1% novel
+	rep, err := r.Validate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("one novel value in a thousand should not alarm: %v", rep)
+	}
+}
+
+func TestInferEmpty(t *testing.T) {
+	if _, err := Infer(nil, nil, DefaultOptions()); !errors.Is(err, ErrEmptyColumn) {
+		t.Errorf("want ErrEmptyColumn, got %v", err)
+	}
+	r, _ := Infer([]string{"a"}, nil, DefaultOptions())
+	if _, err := r.Validate(nil); !errors.Is(err, ErrEmptyColumn) {
+		t.Errorf("want ErrEmptyColumn on empty batch, got %v", err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Total: 5, OutOfDictionary: 5, PValue: 1e-9, Alarm: true}
+	if s := rep.String(); len(s) < 5 || s[:5] != "ALARM" {
+		t.Errorf("Report.String() = %q", s)
+	}
+}

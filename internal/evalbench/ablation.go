@@ -1,0 +1,84 @@
+package evalbench
+
+import (
+	"fmt"
+	"strings"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/index"
+	"autovalidate/internal/stats"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Config    string
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// AblationCMDV compares the paper's FPR-minimizing objective against the
+// coverage-minimizing alternative it mentions and rejects (§2.3).
+func (e *Env) AblationCMDV() []AblationRow {
+	fmdv := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	cmdv := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	cmdv.Opt.Objective = core.MinCoverage
+	cmdv.Label = "CMDV-VH"
+	return e.ablate(fmdv, cmdv)
+}
+
+// AblationMaxAggregation compares summing per-segment FPRs (Eq. 8,
+// pessimistic) against taking their max (optimistic, rejected in §3).
+func (e *Env) AblationMaxAggregation() []AblationRow {
+	sum := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	max := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	max.Opt.Aggregate = core.MaxFPR
+	max.Label = "FMDV-VH(max)"
+	return e.ablate(sum, max)
+}
+
+// AblationDriftTest compares Fisher's exact test against chi-squared
+// with Yates correction as the §4 distributional test (the paper finds
+// little difference).
+func (e *Env) AblationDriftTest() []AblationRow {
+	fisher := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	fisher.Label = "FMDV-VH(fisher)"
+	chi := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	chi.Opt.Test = stats.ChiSquared
+	chi.Label = "FMDV-VH(chi2)"
+	return e.ablate(fisher, chi)
+}
+
+// AblationIndexSupport compares the default in-column support threshold
+// of offline indexing against a stricter one that records less
+// impurity evidence.
+func (e *Env) AblationIndexSupport() []AblationRow {
+	enum := e.IdxE.Enum
+	enum.MinSupport = 0.5 // record only majority patterns per column
+	strict := index.Build(e.TE.Columns(), index.BuildOptions{Enum: enum, Workers: e.Cfg.Workers})
+	strictRunner := NewFMDVRunner(core.FMDVVH, strict, e.Cfg)
+	strictRunner.Label = "FMDV-VH(support=0.5)"
+
+	base := NewFMDVRunner(core.FMDVVH, e.IdxE, e.Cfg)
+	base.Label = "FMDV-VH(support=0.05)"
+	return e.ablate(base, strictRunner)
+}
+
+func (e *Env) ablate(runners ...Runner) []AblationRow {
+	var out []AblationRow
+	for _, r := range runners {
+		res := EvaluateMethod(e.BE, r, e.Cfg)
+		out = append(out, AblationRow{Config: res.Name, Precision: res.Precision, Recall: res.Recall, F1: res.F1})
+	}
+	return out
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n%-24s %10s %10s %10s\n", title, "config", "precision", "recall", "F1")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-24s %10.3f %10.3f %10.3f\n", r.Config, r.Precision, r.Recall, r.F1)
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package evalbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"autovalidate/internal/baselines"
+	"autovalidate/internal/core"
+	"autovalidate/internal/index"
+)
+
+// Figure13 returns the offline-index pattern distributions of Figure 13:
+// (a) by token count and (b) by column frequency (coverage), both with
+// cumulative curves.
+type Figure13 struct {
+	ByTokens    []index.HistogramRow
+	ByFrequency []index.HistogramRow
+	// TailShare is the fraction of distinct patterns with coverage ≤ 2
+	// — the power-law tail the paper observes.
+	TailShare float64
+	IndexSize int
+}
+
+// Figure13Analysis analyzes the Enterprise index.
+func (e *Env) Figure13Analysis() Figure13 {
+	return Figure13{
+		ByTokens:    index.SortedRows(e.IdxE.TokenHistogram()),
+		ByFrequency: index.SortedRows(e.IdxE.FrequencyHistogram()),
+		TailShare:   e.IdxE.PowerLawTailShare(2),
+		IndexSize:   e.IdxE.Size(),
+	}
+}
+
+// FormatFigure13 renders both panels.
+func FormatFigure13(f Figure13) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "index size: %d distinct patterns; tail share (cov<=2): %.3f\n", f.IndexSize, f.TailShare)
+	sb.WriteString("(a) patterns by token count:\n")
+	for _, r := range f.ByTokens {
+		fmt.Fprintf(&sb, "  tokens=%-3d count=%-8d cumulative=%d\n", r.Bucket, r.Count, r.Cumulative)
+	}
+	sb.WriteString("(b) patterns by column frequency (first 20 buckets):\n")
+	for i, r := range f.ByFrequency {
+		if i >= 20 {
+			break
+		}
+		fmt.Fprintf(&sb, "  cov=%-5d count=%-8d cumulative=%d\n", r.Bucket, r.Count, r.Cumulative)
+	}
+	return sb.String()
+}
+
+// LatencyRow is one bar of Figure 14: average per-query-column inference
+// latency.
+type LatencyRow struct {
+	Method    string
+	AvgMillis float64
+	Queries   int
+}
+
+// Figure14Latency measures average per-column inference latency for the
+// indexed FMDV variants, the no-index scan, and the profiler baselines —
+// the comparison behind the paper's "two orders of magnitude" claim.
+// noIndexCols caps the corpus subset scanned by FMDV (no-index); queries
+// caps the number of benchmark columns timed.
+func (e *Env) Figure14Latency(queries, noIndexCols int) []LatencyRow {
+	cases := e.BE.PatternCases()
+	if queries > 0 && queries < len(cases) {
+		cases = cases[:queries]
+	}
+	var rows []LatencyRow
+	time1 := func(name string, train func(values []string)) {
+		start := time.Now()
+		for _, ci := range cases {
+			train(e.BE.Cases[ci].Train)
+		}
+		rows = append(rows, LatencyRow{
+			Method:    name,
+			AvgMillis: time.Since(start).Seconds() * 1000 / float64(len(cases)),
+			Queries:   len(cases),
+		})
+	}
+
+	for _, s := range allStrategies {
+		r := NewFMDVRunner(s, e.IdxE, e.Cfg)
+		time1(r.Name(), func(values []string) { r.Train(values) }) //nolint:errcheck
+	}
+	// FMDV (no-index): a fresh corpus scan per hypothesis, on a reduced
+	// column subset — still orders of magnitude slower per query.
+	scanCols := e.TE.Columns()
+	if noIndexCols > 0 && noIndexCols < len(scanCols) {
+		scanCols = scanCols[:noIndexCols]
+	}
+	noIdxOpt := core.DefaultOptions()
+	noIdxOpt.Strategy = core.FMDV
+	noIdxOpt.R = e.Cfg.R
+	noIdxOpt.M = min(e.Cfg.M, len(scanCols)/4)
+	noIdxOpt.Tau = e.Cfg.Tau
+	time1(fmt.Sprintf("FMDV (no-index, %d cols)", len(scanCols)), func(values []string) {
+		core.InferNoIndex(values, scanCols, noIdxOpt) //nolint:errcheck
+	})
+	for _, m := range []baselines.Method{baselines.PWheel{}, baselines.FlashProfile{}, baselines.XSystem{}} {
+		m := m
+		time1(m.Name(), func(values []string) { m.Train(values) }) //nolint:errcheck
+	}
+	return rows
+}
+
+// FormatFigure14 renders the latency bars.
+func FormatFigure14(rows []LatencyRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-26s %14s %8s\n", "method", "avg ms/column", "queries")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-26s %14.3f %8d\n", r.Method, r.AvgMillis, r.Queries)
+	}
+	return sb.String()
+}

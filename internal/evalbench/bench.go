@@ -1,0 +1,229 @@
+package evalbench
+
+import (
+	"strings"
+
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/datagen"
+	"autovalidate/internal/mapreduce"
+)
+
+// Case is one benchmark column C_i split into training data (the values
+// observable today) and testing data (the values that will arrive in the
+// future), per §5.1.
+type Case struct {
+	Column *corpus.Column
+	Train  []string
+	Test   []string
+	// Domain is the generator's ground-truth label (used only by the
+	// Table 2 manually-curated evaluation, never by inference).
+	Domain string
+	// HasSyntacticPattern marks machine-generated domains; the paper
+	// reports Figure 10 on the subset of cases where syntactic
+	// patterns exist (571/1000 on BE, 359 on BG).
+	HasSyntacticPattern bool
+}
+
+// Benchmark is a sampled set of query columns.
+type Benchmark struct {
+	Name  string
+	Cases []Case
+}
+
+// PatternCases returns the indexes of cases with syntactic patterns.
+func (b *Benchmark) PatternCases() []int {
+	var out []int
+	for i, c := range b.Cases {
+		if c.HasSyntacticPattern {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// minTrainValues guards against degenerate splits on very short columns.
+const minTrainValues = 10
+
+// BuildBenchmark samples n columns (at least 30 values each) from the
+// corpus and splits each into the leading trainFrac as training data and
+// the remainder as testing data, mirroring §5.1's 10%/90% protocol.
+func BuildBenchmark(name string, c *corpus.Corpus, n, maxValues int, trainFrac float64, seed int64) *Benchmark {
+	cols := c.SampleColumns(n, 30, seed)
+	b := &Benchmark{Name: name}
+	for _, col := range cols {
+		values := col.Values
+		if maxValues > 0 && len(values) > maxValues {
+			values = values[:maxValues]
+		}
+		k := int(trainFrac * float64(len(values)))
+		if k < minTrainValues {
+			k = minTrainValues
+		}
+		if k >= len(values) {
+			k = len(values) / 2
+		}
+		b.Cases = append(b.Cases, Case{
+			Column:              col,
+			Train:               values[:k],
+			Test:                values[k:],
+			Domain:              col.Domain,
+			HasSyntacticPattern: !strings.HasPrefix(col.Domain, "nl_"),
+		})
+	}
+	return b
+}
+
+// CaseResult is one case's outcome for one method.
+type CaseResult struct {
+	CaseIndex int
+	HasRule   bool
+	Precision float64 // 1 if no false alarm on the case's own test data
+	Recall    float64 // fraction of other columns correctly flagged
+	F1        float64
+}
+
+// MethodResult aggregates a method over a benchmark per §5.1:
+// P_A(B) = avg P_A(C_i), R_A(B) = avg R_A(C_i), with recall squashed to
+// zero on cases with false alarms.
+type MethodResult struct {
+	Name      string
+	Precision float64
+	Recall    float64
+	F1        float64
+	NoRule    int // cases where the method declined to produce a rule
+	PerCase   []CaseResult
+}
+
+// evalOpts tweak the evaluation protocol.
+type evalOpts struct {
+	// groundTruth applies Table 2's manual adjustments: test values
+	// that are parsing artifacts are removed before judging precision,
+	// and same-domain columns do not count as recall losses.
+	groundTruth bool
+	// caseFilter restricts evaluation to these case indexes (nil = all).
+	caseFilter []int
+	// recallSample caps sampled other-columns per case.
+	recallSample int
+	workers      int
+}
+
+// EvaluateMethod runs one method over the benchmark under the paper's
+// §5.1 protocol.
+func EvaluateMethod(b *Benchmark, r Runner, cfg Config) MethodResult {
+	return evaluate(b, r, evalOpts{recallSample: cfg.RecallSample, workers: cfg.Workers, caseFilter: b.PatternCases()})
+}
+
+// EvaluateMethodGroundTruth runs the Table 2 variant with ground-truth
+// adjustments.
+func EvaluateMethodGroundTruth(b *Benchmark, r Runner, cfg Config) MethodResult {
+	return evaluate(b, r, evalOpts{recallSample: cfg.RecallSample, workers: cfg.Workers, caseFilter: b.PatternCases(), groundTruth: true})
+}
+
+func evaluate(b *Benchmark, r Runner, opts evalOpts) MethodResult {
+	cases := opts.caseFilter
+	if cases == nil {
+		cases = make([]int, len(b.Cases))
+		for i := range cases {
+			cases[i] = i
+		}
+	}
+	results := mapreduce.Map(mapreduce.Config{Workers: opts.workers}, cases, func(ci int) CaseResult {
+		return evaluateCase(b, r, ci, cases, opts)
+	})
+
+	res := MethodResult{Name: r.Name(), PerCase: results}
+	for _, cr := range results {
+		res.Precision += cr.Precision
+		res.Recall += cr.Recall
+		if !cr.HasRule {
+			res.NoRule++
+		}
+	}
+	n := float64(len(results))
+	if n > 0 {
+		res.Precision /= n
+		res.Recall /= n
+	}
+	res.F1 = f1(res.Precision, res.Recall)
+	return res
+}
+
+func evaluateCase(b *Benchmark, r Runner, ci int, universe []int, opts evalOpts) CaseResult {
+	c := b.Cases[ci]
+	cr := CaseResult{CaseIndex: ci}
+	flags, ok := r.Train(c.Train)
+	if !ok {
+		// No rule: nothing can be flagged. Precision is vacuously 1;
+		// recall 0, matching the paper's treatment of methods that
+		// cannot produce patterns for a case.
+		cr.Precision = 1
+		return cr
+	}
+	cr.HasRule = true
+
+	test := c.Test
+	if opts.groundTruth {
+		test = cleanTest(c, test)
+	}
+	if len(test) == 0 || !flags(test) {
+		cr.Precision = 1
+	}
+
+	// Recall: validate against (a sample of) the other columns'
+	// test data; each should be flagged (simulated schema drift).
+	var flagged, total int
+	for _, oj := range universe {
+		if oj == ci {
+			continue
+		}
+		if opts.recallSample > 0 && total >= opts.recallSample {
+			break
+		}
+		other := b.Cases[oj]
+		if opts.groundTruth && sameDomain(c, other) {
+			// Table 2's recall adjustment: a column drawn from the
+			// same domain with the identical ground-truth pattern is
+			// not a recall loss.
+			continue
+		}
+		total++
+		if flags(other.Test) {
+			flagged++
+		}
+	}
+	if total > 0 {
+		cr.Recall = float64(flagged) / float64(total)
+	}
+	// Squash recall when the method false-alarms on the case (§5.1).
+	if cr.Precision == 0 {
+		cr.Recall = 0
+	}
+	cr.F1 = f1(cr.Precision, cr.Recall)
+	return cr
+}
+
+// cleanTest applies Table 2's precision adjustment: values that are
+// parsing artifacts (header junk) rather than domain values are removed
+// from the test set.
+func cleanTest(c Case, test []string) []string {
+	out := make([]string, 0, len(test))
+	for _, v := range test {
+		if datagen.IsHeaderJunk(v) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func sameDomain(a, b Case) bool {
+	base := func(d string) string { return strings.TrimPrefix(d, "dirty:") }
+	return base(a.Domain) == base(b.Domain)
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,334 @@
+package evalbench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		cfg := QuickConfig()
+		cfg.BenchCases = 30
+		cfg.RecallSample = 10
+		testEnv = NewEnv(cfg)
+	})
+	return testEnv
+}
+
+func TestBuildBenchmarkSplit(t *testing.T) {
+	e := quickEnv(t)
+	if len(e.BE.Cases) == 0 {
+		t.Fatal("empty benchmark")
+	}
+	for i, c := range e.BE.Cases {
+		if len(c.Train) < minTrainValues && len(c.Train) != len(c.Column.Values)/2 {
+			t.Errorf("case %d: train size %d too small", i, len(c.Train))
+		}
+		if len(c.Test) == 0 {
+			t.Errorf("case %d: empty test split", i)
+		}
+		total := len(c.Train) + len(c.Test)
+		if total > len(c.Column.Values) {
+			t.Errorf("case %d: split exceeds column", i)
+		}
+		// Train must be the *leading* values (the data observable
+		// today, §5.1).
+		for j, v := range c.Train {
+			if c.Column.Values[j] != v {
+				t.Errorf("case %d: train not a prefix", i)
+				break
+			}
+		}
+	}
+	if len(e.BE.PatternCases()) == 0 {
+		t.Error("no syntactic-pattern cases sampled")
+	}
+	if len(e.BE.PatternCases()) == len(e.BE.Cases) {
+		t.Log("note: no NL cases in this sample (acceptable at small scale)")
+	}
+}
+
+func TestEvaluateMethodPerfectAndUseless(t *testing.T) {
+	e := quickEnv(t)
+	// A rule that never flags: precision 1, recall 0.
+	never := funcRunner{"never", func([]string) (func([]string) bool, bool) {
+		return func([]string) bool { return false }, true
+	}}
+	res := EvaluateMethod(e.BE, never, e.Cfg)
+	if res.Precision != 1 || res.Recall != 0 {
+		t.Errorf("never-flag: P=%v R=%v, want 1/0", res.Precision, res.Recall)
+	}
+	// A rule that always flags: precision 0 and recall squashed to 0.
+	always := funcRunner{"always", func([]string) (func([]string) bool, bool) {
+		return func([]string) bool { return true }, true
+	}}
+	res = EvaluateMethod(e.BE, always, e.Cfg)
+	if res.Precision != 0 || res.Recall != 0 {
+		t.Errorf("always-flag: P=%v R=%v, want 0/0 (squashed)", res.Precision, res.Recall)
+	}
+	// A method with no rules: precision 1 (vacuous), recall 0.
+	none := funcRunner{"none", func([]string) (func([]string) bool, bool) { return nil, false }}
+	res = EvaluateMethod(e.BE, none, e.Cfg)
+	if res.Precision != 1 || res.Recall != 0 || res.NoRule != len(res.PerCase) {
+		t.Errorf("no-rule method: %+v", res)
+	}
+}
+
+type funcRunner struct {
+	name string
+	fn   func([]string) (func([]string) bool, bool)
+}
+
+func (r funcRunner) Name() string { return r.name }
+func (r funcRunner) Train(v []string) (func([]string) bool, bool) {
+	return r.fn(v)
+}
+
+func TestFigure10ShapeOnEnterprise(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Figure10("BE")
+	byName := map[string]MethodResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	vh := byName["FMDV-VH"]
+	// The headline claims of §5.3, as shape checks:
+	if vh.Precision < 0.9 {
+		t.Errorf("FMDV-VH precision = %v, want ≥0.9", vh.Precision)
+	}
+	if vh.Recall < 0.6 {
+		t.Errorf("FMDV-VH recall = %v, want ≥0.6", vh.Recall)
+	}
+	if vh.F1 < byName["FMDV"].F1 {
+		t.Errorf("FMDV-VH (%v) should beat FMDV (%v)", vh.F1, byName["FMDV"].F1)
+	}
+	if tfdv := byName["TFDV"]; tfdv.Precision > 0.5 {
+		t.Errorf("TFDV precision = %v; the paper reports >90%% false-positive columns", tfdv.Precision)
+	}
+	for _, base := range []string{"TFDV", "Deequ-Cat", "Deequ-Fra", "PWheel", "SSIS", "XSystem", "Grok"} {
+		if byName[base].F1 > vh.F1 {
+			t.Errorf("%s F1 (%v) should not beat FMDV-VH (%v)", base, byName[base].F1, vh.F1)
+		}
+	}
+	if fdub := byName["FD-UB"]; fdub.Precision != 1 || fdub.Recall <= 0 || fdub.Recall > 0.7 {
+		t.Errorf("FD-UB should be a partial-coverage bound at precision 1: %+v", fdub)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Table1()
+	if len(rows) != 2 {
+		t.Fatalf("want 2 corpora, got %d", len(rows))
+	}
+	if rows[0].Stats.AvgValueCount <= rows[1].Stats.AvgValueCount {
+		t.Error("enterprise columns should be longer than government ones")
+	}
+	if !strings.Contains(FormatTable1(rows), "Enterprise") {
+		t.Error("missing corpus label in rendering")
+	}
+}
+
+func TestTable2GroundTruthNotWorse(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Table2()
+	if len(rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	prog, truth := rows[0], rows[1]
+	// Both §5.1 adjustments only remove unfair penalties, so the
+	// curated numbers must be at least the programmatic ones.
+	if truth.Precision+1e-9 < prog.Precision {
+		t.Errorf("ground-truth precision %v < programmatic %v", truth.Precision, prog.Precision)
+	}
+	if truth.Recall+1e-9 < prog.Recall {
+		t.Errorf("ground-truth recall %v < programmatic %v", truth.Recall, prog.Recall)
+	}
+}
+
+func TestFigure11SortedByVH(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Figure11(15)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].F1["FMDV-VH"] > rows[i-1].F1["FMDV-VH"]+1e-9 {
+			t.Error("rows not sorted by FMDV-VH F1")
+			break
+		}
+	}
+	for _, m := range []string{"FMDV-VH", "PWheel", "SSIS", "Grok", "XSystem"} {
+		if _, ok := rows[0].F1[m]; !ok {
+			t.Errorf("method %s missing from figure 11", m)
+		}
+	}
+}
+
+func TestFigure12aTradesPrecisionForRecall(t *testing.T) {
+	e := quickEnv(t)
+	pts := e.Figure12a([]float64{0, 0.1})
+	get := func(param float64, variant string) SensitivityPoint {
+		for _, p := range pts {
+			if p.Param == param && p.Variant == variant {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v/%s", param, variant)
+		return SensitivityPoint{}
+	}
+	strict := get(0, "FMDV-VH")
+	lax := get(0.1, "FMDV-VH")
+	if strict.Precision+1e-9 < lax.Precision {
+		t.Errorf("r=0 should not have lower precision than r=0.1 (%v vs %v)", strict.Precision, lax.Precision)
+	}
+	if strict.Recall > lax.Recall+1e-9 {
+		t.Errorf("r=0 should not have higher recall than r=0.1 (%v vs %v)", strict.Recall, lax.Recall)
+	}
+}
+
+func TestFigure12cVerticalCutsInsensitiveToTau(t *testing.T) {
+	e := quickEnv(t)
+	pts := e.Figure12c([]int{8, 13})
+	rec := map[string]map[float64]float64{}
+	for _, p := range pts {
+		if rec[p.Variant] == nil {
+			rec[p.Variant] = map[float64]float64{}
+		}
+		rec[p.Variant][p.Param] = p.Recall
+	}
+	// The Figure 12(c) claim: FMDV (no vertical cuts) loses recall at
+	// τ=8 relative to τ=13, while FMDV-VH does not lose nearly as much.
+	lossFMDV := rec["FMDV"][13] - rec["FMDV"][8]
+	lossVH := rec["FMDV-VH"][13] - rec["FMDV-VH"][8]
+	if lossFMDV < lossVH-1e-9 {
+		t.Errorf("FMDV should suffer more from small τ than FMDV-VH (losses %v vs %v)", lossFMDV, lossVH)
+	}
+}
+
+func TestFigure13PowerLaw(t *testing.T) {
+	e := quickEnv(t)
+	f := e.Figure13Analysis()
+	if f.IndexSize == 0 || len(f.ByTokens) == 0 || len(f.ByFrequency) == 0 {
+		t.Fatal("empty analysis")
+	}
+	if f.TailShare < 0.3 {
+		t.Errorf("tail share = %v; expected a heavy low-coverage tail (Figure 13b)", f.TailShare)
+	}
+	last := f.ByTokens[len(f.ByTokens)-1]
+	if last.Cumulative != f.IndexSize {
+		t.Errorf("cumulative %d != index size %d", last.Cumulative, f.IndexSize)
+	}
+}
+
+func TestFigure14IndexedFasterThanProfilers(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Figure14Latency(8, 60)
+	ms := map[string]float64{}
+	for _, r := range rows {
+		ms[r.Method] = r.AvgMillis
+	}
+	var noIdx float64
+	for name, v := range ms {
+		if strings.HasPrefix(name, "FMDV (no-index") {
+			noIdx = v
+		}
+	}
+	if noIdx <= ms["FMDV"] {
+		t.Errorf("no-index scan (%vms) should be slower than indexed FMDV (%vms)", noIdx, ms["FMDV"])
+	}
+}
+
+func TestTable3FMDVBeatsSimulatedProgrammers(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.Table3UserStudy(10)
+	if len(rows) != 4 {
+		t.Fatalf("want 3 programmers + FMDV-VH, got %d rows", len(rows))
+	}
+	vh := rows[len(rows)-1]
+	if vh.Who != "FMDV-VH" {
+		t.Fatalf("last row should be FMDV-VH, got %s", vh.Who)
+	}
+	for _, r := range rows[:3] {
+		if !r.TimeFromPaper {
+			t.Errorf("programmer row %s should quote paper timing", r.Who)
+		}
+		if r.Precision > vh.Precision+1e-9 && r.Recall > vh.Recall+1e-9 {
+			t.Errorf("simulated programmer %s dominates FMDV-VH; the study's gap is lost", r.Who)
+		}
+	}
+	if vh.AvgTimeS > 5 {
+		t.Errorf("FMDV-VH per-column time %vs too slow", vh.AvgTimeS)
+	}
+}
+
+func TestFigure15DriftShape(t *testing.T) {
+	e := quickEnv(t)
+	rows, err := e.Figure15Kaggle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("want 11 tasks, got %d", len(rows))
+	}
+	detected := 0
+	for _, r := range rows {
+		if r.Base <= 0.3 {
+			t.Errorf("%s: base quality %v too low; the model failed to learn", r.Task, r.Base)
+		}
+		if r.Drifted > r.Base+1e-9 {
+			t.Errorf("%s: drift should not improve quality (%v -> %v)", r.Task, r.Base, r.Drifted)
+		}
+		if r.FalseAlarm {
+			t.Errorf("%s: validation false-alarmed on undrifted data", r.Task)
+		}
+		if r.Detected {
+			detected++
+		}
+	}
+	// The paper detects 8 of 11; at laptop scale we accept 7-9 but the
+	// same-pattern tasks must stay undetectable.
+	if detected < 7 || detected > 9 {
+		t.Errorf("detected %d of 11, want ≈8", detected)
+	}
+	for _, r := range rows {
+		if r.Task == "WestNile" || r.Task == "HomeDepot" {
+			if r.Detected {
+				t.Errorf("%s pairs same-pattern enums; drift should be undetectable", r.Task)
+			}
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	e := quickEnv(t)
+	if rows := e.AblationCMDV(); len(rows) != 2 {
+		t.Errorf("CMDV ablation rows = %d", len(rows))
+	}
+	if rows := e.AblationMaxAggregation(); len(rows) != 2 {
+		t.Errorf("max-agg ablation rows = %d", len(rows))
+	}
+	if rows := e.AblationDriftTest(); len(rows) != 2 {
+		t.Errorf("drift-test ablation rows = %d", len(rows))
+	} else {
+		// Paper: both tests perform comparably.
+		if d := rows[0].F1 - rows[1].F1; d > 0.15 || d < -0.15 {
+			t.Errorf("Fisher vs chi-squared should be close, got F1s %v vs %v", rows[0].F1, rows[1].F1)
+		}
+	}
+}
+
+func TestFMDVObjectiveBeatsCMDV(t *testing.T) {
+	e := quickEnv(t)
+	rows := e.AblationCMDV()
+	if rows[0].F1 < rows[1].F1-0.05 {
+		t.Errorf("FMDV objective (%v) should not lose clearly to CMDV (%v), per §2.3", rows[0].F1, rows[1].F1)
+	}
+}

@@ -1,0 +1,100 @@
+package evalbench
+
+import (
+	"autovalidate/internal/baselines"
+	"autovalidate/internal/core"
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/index"
+)
+
+// Runner is the harness-side adapter over a validation method: Train
+// returns a column-level flagging function, or ok=false when the method
+// declines the case.
+type Runner interface {
+	Name() string
+	Train(values []string) (flags func(values []string) bool, ok bool)
+}
+
+// FMDVRunner adapts the core FMDV variants.
+type FMDVRunner struct {
+	Label string
+	Idx   *index.Index
+	Opt   core.Options
+}
+
+// Name implements Runner.
+func (r FMDVRunner) Name() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return r.Opt.Strategy.String()
+}
+
+// Train implements Runner.
+func (r FMDVRunner) Train(values []string) (func([]string) bool, bool) {
+	rule, err := core.Infer(values, r.Idx, r.Opt)
+	if err != nil {
+		return nil, false
+	}
+	return rule.Flags, true
+}
+
+// NewFMDVRunner builds a runner for one strategy under the evaluation
+// config.
+func NewFMDVRunner(strategy core.Strategy, idx *index.Index, cfg Config) FMDVRunner {
+	opt := core.DefaultOptions()
+	opt.Strategy = strategy
+	opt.R = cfg.R
+	opt.M = cfg.M
+	opt.Theta = cfg.Theta
+	opt.Tau = cfg.Tau
+	return FMDVRunner{Idx: idx, Opt: opt}
+}
+
+// BaselineRunner adapts a §5.2 baseline method.
+type BaselineRunner struct {
+	M baselines.Method
+}
+
+// Name implements Runner.
+func (r BaselineRunner) Name() string { return r.M.Name() }
+
+// Train implements Runner.
+func (r BaselineRunner) Train(values []string) (func([]string) bool, bool) {
+	rule, err := r.M.Train(values)
+	if err != nil {
+		return nil, false
+	}
+	return rule.Flags, true
+}
+
+// AllRunners returns every Figure 10 method (except the FD-UB and AD-UB
+// coverage bounds, which are computed analytically) wired to the given
+// index and corpus.
+func AllRunners(idx *index.Index, cols []*corpus.Column, cfg Config) []Runner {
+	sm1 := &baselines.SMInstance{K: 1}
+	sm10 := &baselines.SMInstance{K: 10}
+	smM := &baselines.SMPattern{}
+	smP := &baselines.SMPattern{Plurality: true}
+	for _, m := range []baselines.CorpusMethod{sm1, sm10, smM, smP} {
+		m.SetCorpus(cols)
+	}
+	return []Runner{
+		NewFMDVRunner(core.FMDV, idx, cfg),
+		NewFMDVRunner(core.FMDVV, idx, cfg),
+		NewFMDVRunner(core.FMDVH, idx, cfg),
+		NewFMDVRunner(core.FMDVVH, idx, cfg),
+		BaselineRunner{baselines.TFDV{}},
+		BaselineRunner{baselines.DeequCat{}},
+		BaselineRunner{baselines.DeequFra{}},
+		BaselineRunner{baselines.PWheel{}},
+		BaselineRunner{baselines.SSIS{}},
+		BaselineRunner{baselines.XSystem{}},
+		BaselineRunner{baselines.FlashProfile{}},
+		BaselineRunner{baselines.Grok{}},
+		BaselineRunner{sm1},
+		BaselineRunner{sm10},
+		BaselineRunner{smM},
+		BaselineRunner{smP},
+	}
+}

@@ -1,0 +1,104 @@
+package evalbench
+
+import (
+	"fmt"
+	"strings"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/index"
+)
+
+// SensitivityPoint is one (parameter value, variant) precision/recall
+// measurement of Figure 12.
+type SensitivityPoint struct {
+	Param     float64
+	Variant   string
+	Precision float64
+	Recall    float64
+}
+
+var allStrategies = []core.Strategy{core.FMDV, core.FMDVV, core.FMDVH, core.FMDVVH}
+
+// Figure12a sweeps the FPR target r (Figure 12(a)): r trades precision
+// against recall directly.
+func (e *Env) Figure12a(rs []float64) []SensitivityPoint {
+	if rs == nil {
+		rs = []float64{0, 0.01, 0.02, 0.04, 0.06, 0.08, 0.1}
+	}
+	var out []SensitivityPoint
+	for _, r := range rs {
+		cfg := e.Cfg
+		cfg.R = r
+		out = append(out, e.sweep(cfg, r, e.IdxE)...)
+	}
+	return out
+}
+
+// Figure12b sweeps the coverage target m (Figure 12(b)).
+func (e *Env) Figure12b(ms []int) []SensitivityPoint {
+	if ms == nil {
+		ms = []int{0, 10, 100}
+	}
+	var out []SensitivityPoint
+	for _, m := range ms {
+		cfg := e.Cfg
+		cfg.M = m
+		out = append(out, e.sweep(cfg, float64(m), e.IdxE)...)
+	}
+	return out
+}
+
+// Figure12c sweeps the token limit τ (Figure 12(c)), rebuilding the
+// offline index at each τ: variants without vertical cuts lose recall at
+// small τ, while FMDV-V/-VH are insensitive.
+func (e *Env) Figure12c(taus []int) []SensitivityPoint {
+	if taus == nil {
+		taus = []int{8, 11, 13}
+	}
+	var out []SensitivityPoint
+	for _, tau := range taus {
+		cfg := e.Cfg
+		cfg.Tau = tau
+		idx := e.buildIndex(e.TE, tau)
+		out = append(out, e.sweep(cfg, float64(tau), idx)...)
+	}
+	return out
+}
+
+// Figure12d sweeps the non-conforming tolerance θ (Figure 12(d)) for the
+// horizontal-cut variants.
+func (e *Env) Figure12d(thetas []float64) []SensitivityPoint {
+	if thetas == nil {
+		thetas = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	var out []SensitivityPoint
+	for _, th := range thetas {
+		cfg := e.Cfg
+		cfg.Theta = th
+		for _, s := range []core.Strategy{core.FMDVH, core.FMDVVH} {
+			res := EvaluateMethod(e.BE, NewFMDVRunner(s, e.IdxE, cfg), cfg)
+			out = append(out, SensitivityPoint{Param: th, Variant: res.Name, Precision: res.Precision, Recall: res.Recall})
+		}
+	}
+	return out
+}
+
+// sweep evaluates the four FMDV variants on BE under one configuration.
+func (e *Env) sweep(cfg Config, param float64, idx *index.Index) []SensitivityPoint {
+	out := make([]SensitivityPoint, 0, len(allStrategies))
+	for _, s := range allStrategies {
+		res := EvaluateMethod(e.BE, NewFMDVRunner(s, idx, cfg), cfg)
+		out = append(out, SensitivityPoint{Param: param, Variant: res.Name, Precision: res.Precision, Recall: res.Recall})
+	}
+	return out
+}
+
+// FormatSensitivity renders a Figure 12 panel.
+func FormatSensitivity(label string, pts []SensitivityPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-9s %10s %10s\n", label, "variant", "precision", "recall")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%-8.3g %-9s %10.3f %10.3f\n", p.Param, p.Variant, p.Precision, p.Recall)
+	}
+	return sb.String()
+}

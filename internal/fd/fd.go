@@ -1,0 +1,79 @@
+// Package fd discovers single-attribute functional dependencies inside a
+// table, powering the FD-UB recall upper bound of §5.2: the fraction of
+// benchmark columns participating in any FD of their source table, with
+// precision assumed perfect — the most charitable possible account of
+// multi-column-dependency methods, which the paper uses to show they are
+// orthogonal to single-column validation.
+package fd
+
+import "autovalidate/internal/corpus"
+
+// FD is a functional dependency Determinant -> Dependent between two
+// columns of one table.
+type FD struct {
+	Determinant string
+	Dependent   string
+}
+
+// Discover returns all single-attribute FDs A -> B that hold exactly in
+// the table instance (every A value maps to one B value). Constant and
+// key columns produce trivial FDs, which are excluded: a column that is
+// a key determines everything (its FDs carry no validation signal), and
+// a constant column is determined by everything.
+func Discover(t *corpus.Table) []FD {
+	n := len(t.Columns)
+	if n < 2 || t.NumRows() == 0 {
+		return nil
+	}
+	var fds []FD
+	for i := 0; i < n; i++ {
+		if isKey(t.Columns[i]) || isConstant(t.Columns[i]) {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || isConstant(t.Columns[j]) {
+				continue
+			}
+			if determines(t.Columns[i], t.Columns[j]) {
+				fds = append(fds, FD{Determinant: t.Columns[i].Name, Dependent: t.Columns[j].Name})
+			}
+		}
+	}
+	return fds
+}
+
+// CoveredColumns returns the set of column names participating in any
+// discovered FD (either side).
+func CoveredColumns(t *corpus.Table) map[string]bool {
+	out := map[string]bool{}
+	for _, fd := range Discover(t) {
+		out[fd.Determinant] = true
+		out[fd.Dependent] = true
+	}
+	return out
+}
+
+func determines(a, b *corpus.Column) bool {
+	m := make(map[string]string, len(a.Values))
+	for i, av := range a.Values {
+		if i >= len(b.Values) {
+			break
+		}
+		if prev, ok := m[av]; ok {
+			if prev != b.Values[i] {
+				return false
+			}
+		} else {
+			m[av] = b.Values[i]
+		}
+	}
+	return true
+}
+
+func isKey(c *corpus.Column) bool {
+	return c.DistinctCount() == len(c.Values)
+}
+
+func isConstant(c *corpus.Column) bool {
+	return c.DistinctCount() <= 1
+}

@@ -1,0 +1,84 @@
+package fd
+
+import (
+	"testing"
+
+	"autovalidate/internal/corpus"
+)
+
+func table(cols ...*corpus.Column) *corpus.Table {
+	return &corpus.Table{Name: "t", Columns: cols}
+}
+
+func col(name string, vals ...string) *corpus.Column {
+	return &corpus.Column{Table: "t", Name: name, Values: vals}
+}
+
+func TestDiscoverSimpleFD(t *testing.T) {
+	// city -> country holds; country -> city does not.
+	tbl := table(
+		col("city", "paris", "lyon", "paris", "berlin"),
+		col("country", "fr", "fr", "fr", "de"),
+	)
+	fds := Discover(tbl)
+	found := false
+	for _, fd := range fds {
+		if fd.Determinant == "city" && fd.Dependent == "country" {
+			found = true
+		}
+		if fd.Determinant == "country" && fd.Dependent == "city" {
+			t.Error("country -> city should not hold (fr maps to two cities)")
+		}
+	}
+	if !found {
+		t.Errorf("city -> country not discovered: %v", fds)
+	}
+}
+
+func TestDiscoverExcludesKeysAndConstants(t *testing.T) {
+	tbl := table(
+		col("id", "1", "2", "3", "4"), // key: determines everything trivially
+		col("k", "x", "x", "x", "x"),  // constant: determined by everything
+		col("a", "p", "q", "p", "q"),
+	)
+	for _, fd := range Discover(tbl) {
+		if fd.Determinant == "id" {
+			t.Errorf("key column should not appear as determinant: %v", fd)
+		}
+		if fd.Dependent == "k" || fd.Determinant == "k" {
+			t.Errorf("constant column should not appear in FDs: %v", fd)
+		}
+	}
+}
+
+func TestDiscoverDegenerateTables(t *testing.T) {
+	if fds := Discover(table(col("only", "a", "b"))); fds != nil {
+		t.Errorf("single-column table has no FDs, got %v", fds)
+	}
+	if fds := Discover(&corpus.Table{Name: "empty"}); fds != nil {
+		t.Errorf("empty table has no FDs, got %v", fds)
+	}
+}
+
+func TestCoveredColumns(t *testing.T) {
+	tbl := table(
+		col("dept", "hr", "hr", "eng", "eng"),
+		col("floor", "1", "1", "2", "2"),
+		col("noise", "a", "b", "b", "a"),
+	)
+	covered := CoveredColumns(tbl)
+	if !covered["dept"] || !covered["floor"] {
+		t.Errorf("dept<->floor should be covered: %v", covered)
+	}
+	if covered["noise"] {
+		t.Errorf("noise participates in no FD: %v", covered)
+	}
+}
+
+func TestDeterminesRaggedColumns(t *testing.T) {
+	a := col("a", "1", "2", "3")
+	b := col("b", "x", "y") // shorter: extra rows ignored
+	if !determines(a, b) {
+		t.Error("ragged comparison should use the common prefix")
+	}
+}

@@ -1,0 +1,66 @@
+package index
+
+import "sort"
+
+// TokenHistogram returns the distribution of distinct indexed patterns by
+// token count ("number of atoms in pattern"), the quantity plotted in
+// Figure 13(a). Keys are token counts, values are pattern counts.
+func (idx *Index) TokenHistogram() map[int]int {
+	h := map[int]int{}
+	for _, e := range idx.Entries {
+		h[int(e.Tokens)]++
+	}
+	return h
+}
+
+// FrequencyHistogram returns, for each coverage value (number of columns
+// following a pattern), how many distinct patterns have exactly that
+// coverage — Figure 13(b)'s power-law plot.
+func (idx *Index) FrequencyHistogram() map[int]int {
+	h := map[int]int{}
+	for _, e := range idx.Entries {
+		h[int(e.Cov)]++
+	}
+	return h
+}
+
+// HistogramRow is one row of a printed distribution.
+type HistogramRow struct {
+	Bucket     int
+	Count      int
+	Cumulative int
+}
+
+// SortedRows converts a histogram map into rows ordered by bucket with a
+// running cumulative count, matching the paper's cumulative curves.
+func SortedRows(h map[int]int) []HistogramRow {
+	buckets := make([]int, 0, len(h))
+	for b := range h {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	rows := make([]HistogramRow, 0, len(buckets))
+	cum := 0
+	for _, b := range buckets {
+		cum += h[b]
+		rows = append(rows, HistogramRow{Bucket: b, Count: h[b], Cumulative: cum})
+	}
+	return rows
+}
+
+// PowerLawTailShare returns the fraction of distinct patterns whose
+// coverage is at most maxCov. The paper observes that the vast majority
+// of candidate patterns are low-coverage (Figure 13(b)); this statistic
+// quantifies that tail.
+func (idx *Index) PowerLawTailShare(maxCov uint32) float64 {
+	if len(idx.Entries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range idx.Entries {
+		if e.Cov <= maxCov {
+			n++
+		}
+	}
+	return float64(n) / float64(len(idx.Entries))
+}

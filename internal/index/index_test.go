@@ -1,0 +1,202 @@
+package index
+
+import (
+	"path/filepath"
+	"testing"
+
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/tokens"
+)
+
+func col(name string, values ...string) *corpus.Column {
+	return &corpus.Column{Table: "t", Name: name, Values: values}
+}
+
+func smallBuildOptions() BuildOptions {
+	opt := DefaultBuildOptions()
+	opt.Workers = 2
+	return opt
+}
+
+func TestBuildAggregatesFPRAndCoverage(t *testing.T) {
+	// Three date columns, one of which is impure (25% "NULL" values).
+	cols := []*corpus.Column{
+		col("a", "Mar 01 2019", "Apr 02 2020", "May 03 2021", "Jun 04 2019"),
+		col("b", "Jan 11 2018", "Feb 12 2018", "Jul 13 2018", "Aug 14 2018"),
+		col("c", "Sep 21 2019", "Oct 22 2019", "Nov 23 2019", "NULL"),
+	}
+	idx := Build(cols, smallBuildOptions())
+	key := "<letter>{3} <digit>{2} <digit>{4}"
+	e, ok := idx.Lookup(key)
+	if !ok {
+		t.Fatalf("index missing %q; size=%d", key, idx.Size())
+	}
+	if e.Cov != 3 {
+		t.Errorf("Cov = %d, want 3", e.Cov)
+	}
+	// FPR = (0 + 0 + 0.25) / 3.
+	if want := 0.25 / 3; !close(e.FPR(), want) {
+		t.Errorf("FPR = %v, want %v", e.FPR(), want)
+	}
+	if e.Tokens != 5 {
+		t.Errorf("Tokens = %d, want 5", e.Tokens)
+	}
+}
+
+func close(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestBuildSerialEqualsParallel(t *testing.T) {
+	cols := []*corpus.Column{
+		col("a", "1:02:03", "4:05:06", "11:12:13"),
+		col("b", "9:08:07", "10:20:30"),
+		col("c", "en-US", "fr-FR", "de-DE"),
+		col("d", "x1", "y2", "z3"),
+	}
+	optS := smallBuildOptions()
+	optS.Workers = 1
+	optP := smallBuildOptions()
+	optP.Workers = 4
+	a, b := Build(cols, optS), Build(cols, optP)
+	if a.Size() != b.Size() {
+		t.Fatalf("serial %d patterns, parallel %d", a.Size(), b.Size())
+	}
+	for k, ea := range a.Entries {
+		eb, ok := b.Entries[k]
+		if !ok || !close(ea.SumImp, eb.SumImp) || ea.Cov != eb.Cov {
+			t.Errorf("entry %q differs: %+v vs %+v (ok=%v)", k, ea, eb, ok)
+		}
+	}
+}
+
+func TestBuildSkipsWideColumns(t *testing.T) {
+	opt := smallBuildOptions()
+	opt.Enum.MaxTokens = 4
+	cols := []*corpus.Column{
+		col("wide", "a-b-c-d-e-f-g", "h-i-j-k-l-m-n"), // 13 tokens
+		col("ok", "ab", "cd"),
+	}
+	idx := Build(cols, opt)
+	if idx.SkippedWide != 1 {
+		t.Errorf("SkippedWide = %d, want 1", idx.SkippedWide)
+	}
+	if idx.Columns != 2 {
+		t.Errorf("Columns = %d, want 2", idx.Columns)
+	}
+}
+
+func TestEntryFPRZeroCov(t *testing.T) {
+	var e Entry
+	if e.FPR() != 1 {
+		t.Errorf("zero-coverage FPR should be 1 (maximally distrusted), got %v", e.FPR())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cols := []*corpus.Column{
+		col("a", "1:02:03", "4:05:06"),
+		col("b", "en-US", "fr-FR"),
+	}
+	idx := Build(cols, smallBuildOptions())
+	path := filepath.Join(t.TempDir(), "test.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != idx.Size() || got.Columns != idx.Columns {
+		t.Fatalf("round trip size %d/%d, want %d/%d", got.Size(), got.Columns, idx.Size(), idx.Columns)
+	}
+	for k, e := range idx.Entries {
+		ge, ok := got.Entries[k]
+		if !ok || ge != e {
+			t.Errorf("entry %q: got %+v want %+v", k, ge, e)
+		}
+	}
+	if got.Enum.MaxTokens != idx.Enum.MaxTokens {
+		t.Errorf("enum options lost in round trip")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.idx")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+}
+
+func TestHead(t *testing.T) {
+	cols := []*corpus.Column{
+		col("a", "11", "22", "33"),
+		col("b", "44", "55"),
+		col("c", "mixed", "66"),
+	}
+	idx := Build(cols, smallBuildOptions())
+	head := idx.Head(2, 0.05)
+	if len(head) == 0 {
+		t.Fatal("expected head patterns")
+	}
+	for i, h := range head {
+		if h.Cov < 2 || h.FPR() > 0.05 {
+			t.Errorf("head[%d] %q violates thresholds: cov=%d fpr=%v", i, h.Key, h.Cov, h.FPR())
+		}
+		if i > 0 && head[i-1].Cov < h.Cov {
+			t.Errorf("head not sorted by coverage at %d", i)
+		}
+	}
+}
+
+func TestTokenHistogram(t *testing.T) {
+	cols := []*corpus.Column{col("a", "1:02", "3:04")}
+	idx := Build(cols, smallBuildOptions())
+	h := idx.TokenHistogram()
+	total := 0
+	for tokens, count := range h {
+		if tokens <= 0 {
+			t.Errorf("invalid token bucket %d", tokens)
+		}
+		total += count
+	}
+	if total != idx.Size() {
+		t.Errorf("histogram total %d != index size %d", total, idx.Size())
+	}
+}
+
+func TestFrequencyHistogramAndTail(t *testing.T) {
+	cols := []*corpus.Column{
+		col("a", "11", "22"), col("b", "33", "44"), col("c", "xy", "zw"),
+	}
+	idx := Build(cols, smallBuildOptions())
+	h := idx.FrequencyHistogram()
+	total := 0
+	for cov, count := range h {
+		if cov < 1 {
+			t.Errorf("invalid coverage bucket %d", cov)
+		}
+		total += count
+	}
+	if total != idx.Size() {
+		t.Errorf("histogram total %d != index size %d", total, idx.Size())
+	}
+	if share := idx.PowerLawTailShare(1000); share != 1 {
+		t.Errorf("tail share with huge cap should be 1, got %v", share)
+	}
+	rows := SortedRows(h)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bucket <= rows[i-1].Bucket {
+			t.Error("SortedRows not ascending")
+		}
+		if rows[i].Cumulative != rows[i-1].Cumulative+rows[i].Count {
+			t.Error("cumulative count broken")
+		}
+	}
+}
+
+func TestLookupPattern(t *testing.T) {
+	cols := []*corpus.Column{col("a", "11", "22", "345")}
+	idx := Build(cols, smallBuildOptions())
+	if _, ok := idx.LookupPattern(pattern.New(pattern.ClassPlus(tokens.ClassDigit))); !ok {
+		t.Error("expected <digit>+ in index")
+	}
+}

@@ -1,0 +1,90 @@
+package index
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"autovalidate/internal/pattern"
+)
+
+// indexFile is the on-disk representation. The map is flattened into
+// parallel slices, which gob encodes far more compactly than a map of
+// structs — the paper's point that a terabyte corpus distills to an index
+// under a gigabyte depends on a dense encoding.
+type indexFile struct {
+	Version     int
+	Keys        []string
+	SumImp      []float64
+	Cov         []uint32
+	Tokens      []uint16
+	Enum        pattern.EnumOptions
+	Columns     int
+	SkippedWide int
+}
+
+const fileVersion = 1
+
+// Save writes the index to path.
+func (idx *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	file := indexFile{
+		Version:     fileVersion,
+		Keys:        make([]string, 0, len(idx.Entries)),
+		SumImp:      make([]float64, 0, len(idx.Entries)),
+		Cov:         make([]uint32, 0, len(idx.Entries)),
+		Tokens:      make([]uint16, 0, len(idx.Entries)),
+		Enum:        idx.Enum,
+		Columns:     idx.Columns,
+		SkippedWide: idx.SkippedWide,
+	}
+	for k, e := range idx.Entries {
+		file.Keys = append(file.Keys, k)
+		file.SumImp = append(file.SumImp, e.SumImp)
+		file.Cov = append(file.Cov, e.Cov)
+		file.Tokens = append(file.Tokens, e.Tokens)
+	}
+	if err := gob.NewEncoder(w).Encode(&file); err != nil {
+		f.Close()
+		return fmt.Errorf("index: encoding %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	var file indexFile
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&file); err != nil {
+		return nil, fmt.Errorf("index: decoding %s: %w", path, err)
+	}
+	if file.Version != fileVersion {
+		return nil, fmt.Errorf("index: %s has version %d, want %d", path, file.Version, fileVersion)
+	}
+	idx := &Index{
+		Entries:     make(map[string]Entry, len(file.Keys)),
+		Enum:        file.Enum,
+		Columns:     file.Columns,
+		SkippedWide: file.SkippedWide,
+	}
+	for i, k := range file.Keys {
+		idx.Entries[k] = Entry{SumImp: file.SumImp[i], Cov: file.Cov[i], Tokens: file.Tokens[i]}
+	}
+	return idx, nil
+}

@@ -1,0 +1,169 @@
+// Package mapreduce is a small goroutine-parallel map/combine/reduce
+// runner. It stands in for the SCOPE Map-Reduce system the paper uses for
+// its offline indexing job (§2.4, §5): the same dataflow — partition the
+// corpus, map each column to (pattern, evidence) pairs, combine locally,
+// reduce globally — at laptop scale.
+package mapreduce
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Config controls a job run.
+type Config struct {
+	// Workers is the mapper parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, if non-nil, is called after each item is mapped with
+	// the number of items completed so far. It must be fast; it is
+	// invoked under a mutex.
+	Progress func(done, total int)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes a map/combine/reduce job over items. The mapper emits
+// (key, value) pairs via the emit callback; values for equal keys are
+// merged with the associative combiner. Each worker combines into a local
+// shard first (the "combiner" of classic Map-Reduce), and shards are
+// reduced pairwise at the end, so combiner must be commutative and
+// associative.
+func Run[T any, V any](cfg Config, items []T, mapper func(item T, emit func(key string, val V)), combiner func(a, b V) V) map[string]V {
+	nw := cfg.workers()
+	if nw > len(items) {
+		nw = len(items)
+	}
+	if nw <= 1 {
+		return runSerial(cfg, items, mapper, combiner)
+	}
+
+	shards := make([]map[string]V, nw)
+	var next int
+	var mu sync.Mutex
+	var done int
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[string]V)
+			emit := func(key string, val V) {
+				if old, ok := local[key]; ok {
+					local[key] = combiner(old, val)
+				} else {
+					local[key] = val
+				}
+			}
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(items) {
+					break
+				}
+				mapper(items[i], emit)
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, len(items))
+					mu.Unlock()
+				}
+			}
+			shards[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	// Reduce all shards into the largest one (fewest rehash moves).
+	best := 0
+	for i, s := range shards {
+		if len(s) > len(shards[best]) {
+			best = i
+		}
+	}
+	out := shards[best]
+	for i, s := range shards {
+		if i == best {
+			continue
+		}
+		for k, v := range s {
+			if old, ok := out[k]; ok {
+				out[k] = combiner(old, v)
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func runSerial[T any, V any](cfg Config, items []T, mapper func(item T, emit func(key string, val V)), combiner func(a, b V) V) map[string]V {
+	out := make(map[string]V)
+	emit := func(key string, val V) {
+		if old, ok := out[key]; ok {
+			out[key] = combiner(old, val)
+		} else {
+			out[key] = val
+		}
+	}
+	for i, it := range items {
+		mapper(it, emit)
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(items))
+		}
+	}
+	return out
+}
+
+// Map applies fn to every item in parallel and returns the results in
+// input order. It is the "map-only" stage used for per-column work that
+// needs no key aggregation (e.g. evaluating a benchmark).
+func Map[T any, R any](cfg Config, items []T, fn func(item T) R) []R {
+	nw := cfg.workers()
+	if nw > len(items) {
+		nw = len(items)
+	}
+	out := make([]R, len(items))
+	if nw <= 1 {
+		for i, it := range items {
+			out[i] = fn(it)
+			if cfg.Progress != nil {
+				cfg.Progress(i+1, len(items))
+			}
+		}
+		return out
+	}
+	var next, done int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(items[i])
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, len(items))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

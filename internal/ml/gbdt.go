@@ -1,0 +1,264 @@
+// Package ml implements a small gradient-boosted-trees learner (squared
+// loss for regression, logistic loss for binary classification) plus the
+// evaluation metrics of the paper's Figure 15 case study (R² and average
+// precision). It substitutes for XGBoost in the Kaggle schema-drift
+// experiment: any competent boosted-tree learner exhibits the quality
+// drop the experiment measures when categorical columns are swapped.
+package ml
+
+import "math"
+
+// Task selects the training objective.
+type Task uint8
+
+// Tasks.
+const (
+	Regression     Task = iota // squared loss, raw predictions
+	Classification             // logistic loss, probability predictions
+)
+
+// Config are GBDT hyperparameters; DefaultConfig mirrors the paper's
+// "default parameters" setup.
+type Config struct {
+	Task         Task
+	Trees        int
+	Depth        int
+	LearningRate float64
+	MinLeaf      int
+}
+
+// DefaultConfig returns modest defaults suitable for the synthetic tasks.
+func DefaultConfig(task Task) Config {
+	return Config{Task: task, Trees: 60, Depth: 3, LearningRate: 0.2, MinLeaf: 8}
+}
+
+// Model is a trained ensemble.
+type Model struct {
+	cfg   Config
+	base  float64
+	trees []*node
+}
+
+type node struct {
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+	value   float64
+	leaf    bool
+}
+
+// Train fits a GBDT on row-major features X and labels y (0/1 for
+// classification). It panics on empty input; callers own sizing.
+func Train(X [][]float64, y []float64, cfg Config) *Model {
+	n := len(X)
+	m := &Model{cfg: cfg}
+	// Base score: mean label (log-odds for classification).
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	if cfg.Task == Classification {
+		mean = clamp(mean, 1e-6, 1-1e-6)
+		m.base = math.Log(mean / (1 - mean))
+	} else {
+		m.base = mean
+	}
+
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = m.base
+	}
+	grads := make([]float64, n)
+	idx := make([]int, n)
+	for t := 0; t < cfg.Trees; t++ {
+		// Negative gradients: residuals (regression) or y - p
+		// (logistic).
+		for i := range grads {
+			if cfg.Task == Classification {
+				grads[i] = y[i] - sigmoid(scores[i])
+			} else {
+				grads[i] = y[i] - scores[i]
+			}
+		}
+		for i := range idx {
+			idx[i] = i
+		}
+		tree := buildTree(X, grads, idx, cfg.Depth, cfg.MinLeaf)
+		m.trees = append(m.trees, tree)
+		for i := range scores {
+			scores[i] += cfg.LearningRate * tree.predict(X[i])
+		}
+	}
+	return m
+}
+
+// Predict returns the model output for one feature vector: a raw value
+// for regression, a probability for classification.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.base
+	for _, t := range m.trees {
+		s += m.cfg.LearningRate * t.predict(x)
+	}
+	if m.cfg.Task == Classification {
+		return sigmoid(s)
+	}
+	return s
+}
+
+// PredictAll maps Predict over rows.
+func (m *Model) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+func (n *node) predict(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] < n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// buildTree fits a regression tree to the gradients by exact greedy
+// variance-reduction splits.
+func buildTree(X [][]float64, g []float64, idx []int, depth, minLeaf int) *node {
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return leafNode(g, idx)
+	}
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	total, totalSq := sums(g, idx)
+	nf := len(X[0])
+	for f := 0; f < nf; f++ {
+		gain, thresh, ok := bestSplit(X, g, idx, f, total, minLeaf)
+		if ok && gain > bestGain {
+			bestGain, bestFeat, bestThresh = gain, f, thresh
+		}
+	}
+	_ = totalSq
+	if bestFeat < 0 {
+		return leafNode(g, idx)
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] < bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < minLeaf || len(ri) < minLeaf {
+		return leafNode(g, idx)
+	}
+	return &node{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    buildTree(X, g, li, depth-1, minLeaf),
+		right:   buildTree(X, g, ri, depth-1, minLeaf),
+	}
+}
+
+// bestSplit scans sorted unique feature values for the variance-optimal
+// binary split of one feature.
+func bestSplit(X [][]float64, g []float64, idx []int, f int, total float64, minLeaf int) (gain, thresh float64, ok bool) {
+	// Sort indices by feature value (simple insertion into a copied
+	// slice keeps this allocation-light for small nodes; quicksort for
+	// larger ones).
+	sorted := append([]int(nil), idx...)
+	quicksortBy(sorted, func(i int) float64 { return X[i][f] })
+
+	n := float64(len(idx))
+	parentScore := total * total / n
+	leftSum, leftN := 0.0, 0.0
+	best := 0.0
+	for k := 0; k < len(sorted)-1; k++ {
+		i := sorted[k]
+		leftSum += g[i]
+		leftN++
+		vi, vn := X[i][f], X[sorted[k+1]][f]
+		if vi == vn {
+			continue
+		}
+		if int(leftN) < minLeaf || len(sorted)-int(leftN) < minLeaf {
+			continue
+		}
+		rightSum := total - leftSum
+		rightN := n - leftN
+		score := leftSum*leftSum/leftN + rightSum*rightSum/rightN
+		if improvement := score - parentScore; improvement > best {
+			best = improvement
+			gain = improvement
+			thresh = (vi + vn) / 2
+			ok = true
+		}
+	}
+	return gain, thresh, ok
+}
+
+func leafNode(g []float64, idx []int) *node {
+	sum := 0.0
+	for _, i := range idx {
+		sum += g[i]
+	}
+	v := 0.0
+	if len(idx) > 0 {
+		v = sum / float64(len(idx))
+	}
+	return &node{leaf: true, value: v}
+}
+
+func sums(g []float64, idx []int) (s, sq float64) {
+	for _, i := range idx {
+		s += g[i]
+		sq += g[i] * g[i]
+	}
+	return s, sq
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func quicksortBy(a []int, key func(int) float64) {
+	if len(a) < 12 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && key(a[j]) < key(a[j-1]); j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	pivot := key(a[len(a)/2])
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for key(a[lo]) < pivot {
+			lo++
+		}
+		for key(a[hi]) > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	quicksortBy(a[:hi+1], key)
+	quicksortBy(a[lo:], key)
+}

@@ -1,0 +1,196 @@
+// Package numeric extends the Auto-Validate principle to numeric columns
+// — the second future-work direction named in the paper's §7. A numeric
+// rule is learned unsupervised from training values: the parseable
+// fraction, the observed range, and the distribution's first two moments.
+// Future batches are validated with the same alarm discipline as pattern
+// rules: a statistical two-sample test per property, alarming only on
+// significant drift so small fluctuations pass.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"autovalidate/internal/stats"
+)
+
+// Rule is a learned numeric validation rule.
+type Rule struct {
+	// Mean, Variance and N summarize the training distribution of
+	// parseable values.
+	Mean     float64
+	Variance float64
+	N        int
+	// Min and Max bound the training values; RangeSlack widens the
+	// interval checked at validation time by this fraction of the
+	// spread (machine counters legitimately grow).
+	Min, Max   float64
+	RangeSlack float64
+	// TrainNonNumeric / TrainTotal give the training-time fraction of
+	// values that do not parse as numbers (the numeric analogue of
+	// θ_C).
+	TrainNonNumeric int
+	TrainTotal      int
+	// Alpha is the significance level shared by the drift tests.
+	Alpha float64
+	// Test selects the homogeneity test for the non-numeric fraction.
+	Test stats.TwoSampleTest
+}
+
+// Report is the outcome of validating a batch against a numeric rule.
+type Report struct {
+	Total      int
+	NonNumeric int
+	// MeanPValue is the Welch-test p-value comparing distributions;
+	// FractionPValue compares non-numeric fractions; OutOfRange counts
+	// values outside the slack-widened training range.
+	MeanPValue     float64
+	FractionPValue float64
+	OutOfRange     int
+	Alarm          bool
+	Reasons        []string
+}
+
+// String renders a one-line summary.
+func (rep Report) String() string {
+	verdict := "ok"
+	if rep.Alarm {
+		verdict = "ALARM"
+	}
+	return fmt.Sprintf("%s: %d/%d non-numeric, %d out of range (mean-p=%.3g, frac-p=%.3g) %s",
+		verdict, rep.NonNumeric, rep.Total, rep.OutOfRange, rep.MeanPValue, rep.FractionPValue,
+		strings.Join(rep.Reasons, ","))
+}
+
+// Inference failure modes.
+var (
+	// ErrNotNumeric is returned when too few training values parse as
+	// numbers for a numeric rule to make sense.
+	ErrNotNumeric = errors.New("numeric: column is not numeric enough")
+	// ErrEmptyColumn is returned for empty training data.
+	ErrEmptyColumn = errors.New("numeric: empty column")
+)
+
+// minNumericFraction is the training parse rate below which Infer
+// declines (the column is better served by pattern or dictionary rules).
+const minNumericFraction = 0.8
+
+// Options configure numeric inference; the zero value is not useful.
+type Options struct {
+	Alpha      float64
+	RangeSlack float64
+	Test       stats.TwoSampleTest
+}
+
+// DefaultOptions mirrors the pattern-rule defaults: Fisher at 0.01, with
+// a 50% range slack.
+func DefaultOptions() Options {
+	return Options{Alpha: 0.01, RangeSlack: 0.5, Test: stats.Fisher}
+}
+
+// Infer learns a numeric rule from training values.
+func Infer(values []string, opt Options) (*Rule, error) {
+	if len(values) == 0 {
+		return nil, ErrEmptyColumn
+	}
+	nums, nonNumeric := parseAll(values)
+	if float64(len(nums)) < minNumericFraction*float64(len(values)) {
+		return nil, fmt.Errorf("%w (%d/%d parseable)", ErrNotNumeric, len(nums), len(values))
+	}
+	mean, variance := stats.MeanVar(nums)
+	r := &Rule{
+		Mean: mean, Variance: variance, N: len(nums),
+		Min: nums[0], Max: nums[0],
+		RangeSlack:      opt.RangeSlack,
+		TrainNonNumeric: nonNumeric,
+		TrainTotal:      len(values),
+		Alpha:           opt.Alpha,
+		Test:            opt.Test,
+	}
+	for _, x := range nums {
+		if x < r.Min {
+			r.Min = x
+		}
+		if x > r.Max {
+			r.Max = x
+		}
+	}
+	return r, nil
+}
+
+// Validate applies the rule to a batch of future values.
+func (r *Rule) Validate(values []string) (Report, error) {
+	if len(values) == 0 {
+		return Report{}, ErrEmptyColumn
+	}
+	rep := Report{Total: len(values), MeanPValue: 1, FractionPValue: 1}
+	nums, nonNumeric := parseAll(values)
+	rep.NonNumeric = nonNumeric
+
+	// (1) Non-numeric fraction drift (the θ test of the paper's §4,
+	// applied to parseability).
+	p, err := stats.HomogeneityPValue(r.Test, r.TrainNonNumeric, r.TrainTotal, nonNumeric, len(values))
+	if err != nil {
+		return Report{}, fmt.Errorf("numeric: %w", err)
+	}
+	rep.FractionPValue = p
+	trainFrac := float64(r.TrainNonNumeric) / float64(r.TrainTotal)
+	if p < r.Alpha && float64(nonNumeric)/float64(len(values)) > trainFrac {
+		rep.Alarm = true
+		rep.Reasons = append(rep.Reasons, "non-numeric-fraction")
+	}
+
+	if len(nums) >= 2 && r.N >= 2 {
+		// (2) Distribution drift: Welch's t-test on the means.
+		mean, variance := stats.MeanVar(nums)
+		_, _, pt := stats.WelchT(r.Mean, r.Variance, r.N, mean, variance, len(nums))
+		rep.MeanPValue = pt
+		if pt < r.Alpha {
+			rep.Alarm = true
+			rep.Reasons = append(rep.Reasons, "mean-shift")
+		}
+	}
+
+	// (3) Range violations beyond the slack-widened envelope.
+	spread := r.Max - r.Min
+	lo := r.Min - r.RangeSlack*spread
+	hi := r.Max + r.RangeSlack*spread
+	for _, x := range nums {
+		if x < lo || x > hi {
+			rep.OutOfRange++
+		}
+	}
+	// A few strays are tolerated under the same homogeneity logic.
+	pr, err := stats.HomogeneityPValue(r.Test, 0, r.TrainTotal, rep.OutOfRange, len(values))
+	if err != nil {
+		return Report{}, fmt.Errorf("numeric: %w", err)
+	}
+	if pr < r.Alpha && rep.OutOfRange > 0 {
+		rep.Alarm = true
+		rep.Reasons = append(rep.Reasons, "out-of-range")
+	}
+	return rep, nil
+}
+
+// Flags reports whether the rule alarms on the batch (false on empty
+// batches).
+func (r *Rule) Flags(values []string) bool {
+	rep, err := r.Validate(values)
+	return err == nil && rep.Alarm
+}
+
+func parseAll(values []string) (nums []float64, nonNumeric int) {
+	nums = make([]float64, 0, len(values))
+	for _, v := range values {
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || math.IsInf(x, 0) || math.IsNaN(x) {
+			nonNumeric++
+			continue
+		}
+		nums = append(nums, x)
+	}
+	return nums, nonNumeric
+}

@@ -1,0 +1,154 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func normalColumn(rng *rand.Rand, n int, mean, std float64) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%.3f", mean+std*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestInferAndValidateStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := normalColumn(rng, 300, 100, 5)
+	r, err := Infer(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mean < 98 || r.Mean > 102 {
+		t.Errorf("Mean = %v, want ≈100", r.Mean)
+	}
+	rep, err := r.Validate(normalColumn(rng, 500, 100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("same-distribution batch alarmed: %v", rep)
+	}
+}
+
+func TestValidateDetectsMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, err := Infer(normalColumn(rng, 300, 100, 5), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Validate(normalColumn(rng, 500, 140, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Errorf("8-sigma mean shift not detected: %v", rep)
+	}
+	found := false
+	for _, reason := range rep.Reasons {
+		if reason == "mean-shift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mean-shift not among reasons: %v", rep.Reasons)
+	}
+}
+
+func TestValidateDetectsNonNumericCreep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, err := Infer(normalColumn(rng, 300, 50, 10), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := normalColumn(rng, 400, 50, 10)
+	for i := 0; i < 40; i++ {
+		batch[i*10] = "N/A"
+	}
+	rep, err := r.Validate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Errorf("10%% non-numeric creep not detected: %v", rep)
+	}
+}
+
+func TestValidateToleratesFewStrays(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := normalColumn(rng, 1000, 50, 10)
+	train[5] = "-" // train data itself has a stray
+	r, err := Infer(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := normalColumn(rng, 1000, 50, 10)
+	batch[17] = "NULL" // one stray in a thousand
+	rep, err := r.Validate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("a single stray value should not alarm: %v", rep)
+	}
+}
+
+func TestValidateDetectsRangeExplosion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r, err := Infer(normalColumn(rng, 300, 10, 1), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]string, 200)
+	for i := range batch {
+		batch[i] = fmt.Sprintf("%.1f", 1e6+rng.Float64()) // wildly out of range
+	}
+	rep, err := r.Validate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm || rep.OutOfRange == 0 {
+		t.Errorf("range explosion not detected: %v", rep)
+	}
+}
+
+func TestInferDeclinesNonNumeric(t *testing.T) {
+	vals := []string{"en-US", "fr-FR", "de-DE", "ja-JP", "1.5"}
+	if _, err := Infer(vals, DefaultOptions()); !errors.Is(err, ErrNotNumeric) {
+		t.Errorf("want ErrNotNumeric, got %v", err)
+	}
+}
+
+func TestInferEmpty(t *testing.T) {
+	if _, err := Infer(nil, DefaultOptions()); !errors.Is(err, ErrEmptyColumn) {
+		t.Errorf("want ErrEmptyColumn, got %v", err)
+	}
+	r, err := Infer([]string{"1", "2", "3"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Validate(nil); !errors.Is(err, ErrEmptyColumn) {
+		t.Errorf("want ErrEmptyColumn on empty batch, got %v", err)
+	}
+	if r.Flags(nil) {
+		t.Error("Flags on empty batch should be false")
+	}
+}
+
+func TestParseAllHandlesWhitespaceAndSpecials(t *testing.T) {
+	nums, bad := parseAll([]string{" 1.5 ", "2", "NaN", "Inf", "x", ""})
+	if len(nums) != 2 || bad != 4 {
+		t.Errorf("parseAll = %v, %d; want 2 numbers and 4 rejects", nums, bad)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Total: 10, NonNumeric: 1, Alarm: true, MeanPValue: 0.001, FractionPValue: 1, Reasons: []string{"mean-shift"}}
+	s := rep.String()
+	if len(s) == 0 || s[:5] != "ALARM" {
+		t.Errorf("Report.String() = %q", s)
+	}
+}

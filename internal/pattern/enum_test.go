@@ -1,0 +1,236 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func keys(res EnumResult) map[string]int {
+	m := make(map[string]int, len(res.Candidates))
+	for _, c := range res.Candidates {
+		m[c.Pattern.Key()] = c.Matched
+	}
+	return m
+}
+
+func TestHypothesisSpaceDateColumn(t *testing.T) {
+	// C1 from Figure 2(a).
+	col := []string{
+		"Mar 01 2019", "Mar 02 2019", "Mar 03 2019", "Mar 04 2019", "Mar 05 2019",
+		"Mar 06 2019", "Mar 07 2019", "Mar 08 2019", "Mar 09 2019", "Mar 10 2019",
+		"Mar 11 2019", "Mar 12 2019", "Mar 13 2019", "Mar 14 2019", "Mar 15 2019",
+	}
+	res := HypothesisSpace(col, DefaultEnumOptions())
+	got := keys(res)
+	// The ideal validation pattern must be in H(C).
+	for _, want := range []string{
+		"<letter>{3} <digit>{2} <digit>{4}",
+		"Mar <digit>{2} 2019",
+		"<letter>+ <digit>+ <digit>+",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("H(C) missing %q; have %d candidates", want, len(got))
+		}
+	}
+	// Every candidate must match all values (intersection semantics).
+	for _, c := range res.Candidates {
+		if c.Matched != len(col) {
+			t.Errorf("candidate %s matches %d/%d values", c.Pattern, c.Matched, len(col))
+		}
+		for _, v := range col {
+			if !c.Pattern.Match(v) {
+				t.Errorf("candidate %s in H(C) fails to match %q", c.Pattern, v)
+			}
+		}
+	}
+	// The overly specific day constant must not survive: "01" appears once.
+	if _, ok := got["Mar 01 2019"]; ok {
+		t.Error("H(C) contains a constant pattern that only matches one value")
+	}
+}
+
+func TestHypothesisSpaceExcludesTrivial(t *testing.T) {
+	res := HypothesisSpace([]string{"a1", "b2", "c3"}, DefaultEnumOptions())
+	for _, c := range res.Candidates {
+		if c.Pattern.IsTrivial() {
+			t.Fatalf("H(C) contains the trivial pattern")
+		}
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("H(C) should not be empty for a homogeneous column")
+	}
+}
+
+func TestEnumerateAlnumPassUnifiesHexIDs(t *testing.T) {
+	col := []string{"a3f9", "1b2c", "9999", "abcd", "12ef"}
+	res := HypothesisSpace(col, DefaultEnumOptions())
+	got := keys(res)
+	if n, ok := got["<alnum>{4}"]; !ok || n != len(col) {
+		t.Fatalf("expected <alnum>{4} to cover all %d values, got %v (candidates: %v)", len(col), n, got)
+	}
+	if _, ok := got["<alnum>+"]; !ok {
+		t.Error("expected <alnum>+ in H(C)")
+	}
+}
+
+func TestEnumerateSupportCounts(t *testing.T) {
+	// 9 timestamps without suffix, 3 with " PM": the no-suffix pattern
+	// should be enumerated with support 9 when MinSupport is low.
+	col := make([]string, 0, 12)
+	for i := 0; i < 9; i++ {
+		col = append(col, fmt.Sprintf("9/12/2019 12:01:3%d", i))
+	}
+	for i := 0; i < 3; i++ {
+		col = append(col, fmt.Sprintf("9/12/2019 12:01:4%d PM", i))
+	}
+	opt := DefaultEnumOptions()
+	opt.MinSupport = 0.10
+	res := Enumerate(col, opt)
+	got := keys(res)
+	n, ok := got["<digit>{1}/<digit>{2}/<digit>{4} <digit>{2}:<digit>{2}:<digit>{2}"]
+	if !ok {
+		t.Fatalf("expected the no-suffix fine pattern to be enumerated; have %d candidates", len(got))
+	}
+	if n != 9 {
+		t.Errorf("no-suffix pattern support = %d, want 9", n)
+	}
+	nPM, ok := got["<digit>{1}/<digit>{2}/<digit>{4} <digit>{2}:<digit>{2}:<digit>{2} PM"]
+	if !ok || nPM != 3 {
+		t.Errorf("PM pattern support = %d (present=%v), want 3", nPM, ok)
+	}
+}
+
+func TestEnumerateRespectsMinSupport(t *testing.T) {
+	col := []string{"aaa", "aaa", "aaa", "aaa", "aaa", "aaa", "aaa", "aaa", "aaa", "zz"}
+	opt := DefaultEnumOptions()
+	opt.MinSupport = 0.5
+	res := Enumerate(col, opt)
+	for _, c := range res.Candidates {
+		if float64(c.Matched) < 0.5*float64(res.Total) {
+			t.Errorf("candidate %s has support %d/%d below MinSupport", c.Pattern, c.Matched, res.Total)
+		}
+	}
+	if _, ok := keys(res)["zz"]; ok {
+		t.Error("low-support constant must be pruned")
+	}
+}
+
+func TestEnumerateWideValuesSkipped(t *testing.T) {
+	opt := DefaultEnumOptions()
+	opt.MaxTokens = 3
+	col := []string{"1-2-3-4-5-6", "1-2-3-4-5-7"} // 11 tokens each
+	res := Enumerate(col, opt)
+	if res.Wide != 2 {
+		t.Errorf("Wide = %d, want 2", res.Wide)
+	}
+	if len(res.Candidates) != 0 {
+		t.Errorf("wide-only column should produce no candidates, got %d", len(res.Candidates))
+	}
+}
+
+func TestEnumerateEmptyValues(t *testing.T) {
+	res := HypothesisSpace([]string{"", "", "ab"}, DefaultEnumOptions())
+	if res.Empty != 2 {
+		t.Errorf("Empty = %d, want 2", res.Empty)
+	}
+	// With intersection semantics nothing can match the empty strings.
+	if len(res.Candidates) != 0 {
+		t.Errorf("expected no candidates, got %d", len(res.Candidates))
+	}
+}
+
+func TestEnumerateDedupWeights(t *testing.T) {
+	col := []string{"ab", "ab", "ab", "cd"}
+	res := Enumerate(col, DefaultEnumOptions())
+	if res.Total != 4 {
+		t.Fatalf("Total = %d, want 4 (multiplicity preserved)", res.Total)
+	}
+	got := keys(res)
+	if got["<letter>{2}"] != 4 {
+		t.Errorf("<letter>{2} support = %d, want 4", got["<letter>{2}"])
+	}
+	if got["ab"] != 3 {
+		t.Errorf("constant ab support = %d, want 3", got["ab"])
+	}
+}
+
+func TestEnumerateMaxPatternsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	col := make([]string, 64)
+	for i := range col {
+		col[i] = fmt.Sprintf("%c%c-%04d-%02d", 'a'+rng.Intn(26), 'a'+rng.Intn(26), rng.Intn(10000), rng.Intn(100))
+	}
+	opt := DefaultEnumOptions()
+	opt.MaxPatterns = 5
+	res := Enumerate(col, opt)
+	if len(res.Candidates) > 5 {
+		t.Errorf("cap violated: %d candidates", len(res.Candidates))
+	}
+	if !res.Capped {
+		t.Error("Capped flag should be set")
+	}
+}
+
+// Property: every enumerated candidate's reported support equals its true
+// match count over the column (the bitset bookkeeping is consistent with
+// the matcher).
+func TestEnumerateSupportConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPattern(rng)
+		col := make([]string, 20)
+		for i := range col {
+			col[i] = generate(rng, p)
+		}
+		opt := DefaultEnumOptions()
+		opt.MinSupport = 0.2
+		res := Enumerate(col, opt)
+		for _, c := range res.Candidates {
+			if true1 := c.Pattern.MatchCount(col); true1 < c.Matched {
+				// The bitset support may undercount (cross-group
+				// matches are not credited) but must never
+				// overcount.
+				t.Fatalf("trial %d: candidate %s reports %d matches, true count %d (col from %s)",
+					trial, c.Pattern, c.Matched, true1, p)
+			}
+		}
+	}
+}
+
+// Property: H(C) intersection semantics — every candidate matches every
+// value.
+func TestHypothesisSpaceIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPattern(rng)
+		col := make([]string, 15)
+		for i := range col {
+			col[i] = generate(rng, p)
+		}
+		res := HypothesisSpace(col, DefaultEnumOptions())
+		for _, c := range res.Candidates {
+			for _, v := range col {
+				if !c.Pattern.Match(v) {
+					t.Fatalf("trial %d: H(C) candidate %s fails value %q", trial, c.Pattern, v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkEnumerateTimestampColumn(b *testing.B) {
+	col := make([]string, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range col {
+		col[i] = fmt.Sprintf("%d/%02d/%04d %02d:%02d:%02d",
+			1+rng.Intn(12), 1+rng.Intn(28), 2015+rng.Intn(6),
+			rng.Intn(24), rng.Intn(60), rng.Intn(60))
+	}
+	opt := DefaultEnumOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(col, opt)
+	}
+}

@@ -1,0 +1,117 @@
+package pattern
+
+import "autovalidate/internal/tokens"
+
+// Match reports whether the pattern matches the whole value (anchored at
+// both ends). Matching uses backtracking over token boundaries; patterns
+// produced by the enumeration are short, so worst-case behaviour is
+// bounded in practice by the τ token cap.
+func (p Pattern) Match(v string) bool {
+	return matchFrom(p.Toks, v, 0)
+}
+
+func matchFrom(toks []Tok, v string, si int) bool {
+	if len(toks) == 0 {
+		return si == len(v)
+	}
+	t := toks[0]
+	rest := toks[1:]
+	switch t.Kind {
+	case KindLiteral:
+		if end := si + len(t.Lit); end <= len(v) && v[si:end] == t.Lit {
+			if matchFrom(rest, v, end) {
+				return true
+			}
+		}
+		if t.Opt {
+			return matchFrom(rest, v, si)
+		}
+		return false
+
+	case KindNum:
+		// <num> = [+-]? digits ( "." digits )?
+		for _, end := range numEnds(v, si) {
+			if matchFrom(rest, v, end) {
+				return true
+			}
+		}
+		if t.Opt {
+			return matchFrom(rest, v, si)
+		}
+		return false
+
+	default: // KindClass
+		// Longest run of characters generalized by the class.
+		maxRun := 0
+		for si+maxRun < len(v) && t.Class.Generalizes(tokens.ClassOf(v[si+maxRun])) {
+			maxRun++
+		}
+		hi := maxRun
+		if t.Max != Unbounded && t.Max < hi {
+			hi = t.Max
+		}
+		// Greedy longest-first with backtracking.
+		for n := hi; n >= t.Min; n-- {
+			if matchFrom(rest, v, si+n) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// numEnds returns the possible end offsets (longest first) of a <num>
+// match starting at si: sign? digits ( '.' digits )?.
+func numEnds(v string, si int) []int {
+	i := si
+	if i < len(v) && (v[i] == '+' || v[i] == '-') {
+		i++
+	}
+	d0 := i
+	for i < len(v) && v[i] >= '0' && v[i] <= '9' {
+		i++
+	}
+	if i == d0 {
+		return nil // at least one digit required
+	}
+	intEnd := i
+	ends := make([]int, 0, 2+intEnd-d0)
+	if i < len(v) && v[i] == '.' {
+		j := i + 1
+		for j < len(v) && v[j] >= '0' && v[j] <= '9' {
+			j++
+		}
+		if j > i+1 {
+			// Fractional endings, longest first.
+			for k := j; k > i+1; k-- {
+				ends = append(ends, k)
+			}
+		}
+	}
+	// Integer endings, longest first (backtracking over digit count).
+	for k := intEnd; k > d0; k-- {
+		ends = append(ends, k)
+	}
+	return ends
+}
+
+// MatchCount returns how many of the values the pattern matches.
+func (p Pattern) MatchCount(values []string) int {
+	n := 0
+	for _, v := range values {
+		if p.Match(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Impurity returns Imp_D(p) per Definition 1 of the paper: the fraction
+// of values in the column not matching the pattern. An empty column has
+// zero impurity by convention.
+func (p Pattern) Impurity(values []string) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	return float64(len(values)-p.MatchCount(values)) / float64(len(values))
+}

@@ -1,0 +1,113 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"autovalidate/internal/tokens"
+)
+
+func TestParseRoundTripKnownPatterns(t *testing.T) {
+	cases := []string{
+		"<letter>{3} <digit>{2} <digit>{4}",
+		"<digit>+/<digit>{2}/<digit>{4} <digit>+:<digit>{2}:<digit>{2} <letter>{2}",
+		"<num>",
+		"<num>?",
+		"<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}",
+		"<digit>{0,3}",
+		"<digit>{2,+}",
+		"<space>+",
+		"<all>+",
+		"Mar <digit>{2} 2019",
+		"( PM)?",
+		"sess_<alnum>{10}",
+		"<symbol>{1}",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip: Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	// A literal containing metacharacters survives the round trip.
+	orig := New(Lit("a<b(c)d\\e"))
+	s := orig.String()
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	if !p.Match("a<b(c)d\\e") {
+		t.Errorf("parsed pattern does not match the original literal")
+	}
+	if p.String() != s {
+		t.Errorf("round trip %q -> %q", s, p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"<digit>",      // missing quantifier
+		"<bogus>{2}",   // unknown class
+		"<digit",       // unterminated class
+		"<digit>{x}",   // bad quantifier
+		"<digit>{1,2",  // unterminated quantifier
+		"(abc",         // unterminated group
+		"(abc)",        // group without ?
+		"abc)",         // stray close
+		"abc\\",        // trailing escape
+		"<digit>{1,y}", // bad max
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseMatchesEquivalently(t *testing.T) {
+	// A parsed pattern accepts and rejects the same strings as the
+	// original.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		orig := randomPattern(rng)
+		parsed, err := Parse(orig.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", orig.String(), err)
+		}
+		v := generate(rng, orig)
+		if !parsed.Match(v) {
+			t.Fatalf("parsed %q rejects %q generated from original", parsed, v)
+		}
+		// A mutated value must agree between both (spot check).
+		mut := v + "x"
+		if orig.Match(mut) != parsed.Match(mut) {
+			t.Fatalf("disagreement on %q: orig=%v parsed=%v", mut, orig.Match(mut), parsed.Match(mut))
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("<digit>")
+}
+
+func TestParseOptionalClassRange(t *testing.T) {
+	p := MustParse("<letter>{0,2}")
+	if !p.Match("") || !p.Match("ab") || p.Match("abc") {
+		t.Error("optional class range mis-parsed")
+	}
+	if p.Toks[0].Class != tokens.ClassLetter {
+		t.Error("wrong class")
+	}
+}

@@ -1,0 +1,134 @@
+package pattern
+
+import (
+	"testing"
+
+	"autovalidate/internal/tokens"
+)
+
+func TestTokString(t *testing.T) {
+	tests := []struct {
+		tok  Tok
+		want string
+	}{
+		{Lit("Mar"), "Mar"},
+		{Lit("a<b"), `a\<b`},
+		{ClassN(tokens.ClassDigit, 2), "<digit>{2}"},
+		{ClassPlus(tokens.ClassDigit), "<digit>+"},
+		{ClassPlus(tokens.ClassLetter), "<letter>+"},
+		{ClassRange(tokens.ClassDigit, 0, 3), "<digit>{0,3}"},
+		{ClassRange(tokens.ClassDigit, 2, Unbounded), "<digit>{2,+}"},
+		{Num(), "<num>"},
+	}
+	for _, tc := range tests {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("Tok.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPatternStringIsPaperNotation(t *testing.T) {
+	// The validation pattern for C1 in Figure 2(a).
+	p := New(
+		ClassN(tokens.ClassLetter, 3), Lit(" "),
+		ClassN(tokens.ClassDigit, 2), Lit(" "),
+		ClassN(tokens.ClassDigit, 4),
+	)
+	want := "<letter>{3} <digit>{2} <digit>{4}"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPatternKeyUnambiguous(t *testing.T) {
+	a := New(Lit("<digit>{2}"))
+	b := New(ClassN(tokens.ClassDigit, 2))
+	if a.Key() == b.Key() {
+		t.Errorf("literal %q and class token share key %q", a.Toks[0].Lit, b.Key())
+	}
+}
+
+func TestIsTrivial(t *testing.T) {
+	if !New(ClassPlus(tokens.ClassAny)).IsTrivial() {
+		t.Error("<all>+ should be trivial")
+	}
+	if New(ClassPlus(tokens.ClassDigit)).IsTrivial() {
+		t.Error("<digit>+ should not be trivial")
+	}
+	if New(ClassPlus(tokens.ClassAny), Lit("x")).IsTrivial() {
+		t.Error("multi-token patterns are never trivial")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New(ClassN(tokens.ClassDigit, 2))
+	b := New(Lit(":"), ClassN(tokens.ClassDigit, 2))
+	c := Concat(a, b)
+	if c.String() != "<digit>{2}:<digit>{2}" {
+		t.Errorf("Concat = %q", c.String())
+	}
+	if len(a.Toks) != 1 {
+		t.Error("Concat must not mutate inputs")
+	}
+}
+
+func TestGeneralizesTok(t *testing.T) {
+	dig2 := ClassN(tokens.ClassDigit, 2)
+	digPlus := ClassPlus(tokens.ClassDigit)
+	alnumPlus := ClassPlus(tokens.ClassAlnum)
+	tests := []struct {
+		a, b Tok
+		want bool
+	}{
+		{digPlus, dig2, true},
+		{dig2, digPlus, false},
+		{alnumPlus, digPlus, true},
+		{alnumPlus, ClassPlus(tokens.ClassLetter), true},
+		{digPlus, ClassPlus(tokens.ClassLetter), false},
+		{Num(), dig2, true},
+		{Num(), digPlus, true},
+		{dig2, Lit("07"), true},
+		{dig2, Lit("123"), false},
+		{dig2, Lit("ab"), false},
+		{Lit("x"), Lit("x"), true},
+		{Lit("x"), Lit("y"), false},
+		{ClassN(tokens.ClassLetter, 3), Lit("Mar"), true},
+	}
+	for _, tc := range tests {
+		if got := GeneralizesTok(tc.a, tc.b); got != tc.want {
+			t.Errorf("GeneralizesTok(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPatternGeneralizes(t *testing.T) {
+	specific := New(Lit("Mar"), Lit(" "), ClassN(tokens.ClassDigit, 2), Lit(" "), Lit("2019"))
+	general := New(ClassN(tokens.ClassLetter, 3), Lit(" "), ClassN(tokens.ClassDigit, 2), Lit(" "), ClassN(tokens.ClassDigit, 4))
+	if !general.Generalizes(specific) {
+		t.Error("the Figure 2(a) validation pattern should generalize the profiling pattern")
+	}
+	if specific.Generalizes(general) {
+		t.Error("generalization must not be symmetric here")
+	}
+}
+
+func TestFromValue(t *testing.T) {
+	p := FromValue("9:07")
+	if p.String() != "9:07" {
+		t.Errorf("FromValue(9:07) = %q", p.String())
+	}
+	if !p.Match("9:07") || p.Match("9:08") {
+		t.Error("FromValue must match exactly its source value")
+	}
+}
+
+func TestTokenCount(t *testing.T) {
+	p := New(
+		ClassN(tokens.ClassLetter, 3), Lit(" "),
+		ClassN(tokens.ClassDigit, 2), Lit(" "),
+		ClassN(tokens.ClassDigit, 4),
+	)
+	if got := p.TokenCount(); got != 5 {
+		t.Errorf("TokenCount = %d, want 5 (spaces count as tokens)", got)
+	}
+}

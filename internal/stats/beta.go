@@ -1,0 +1,129 @@
+package stats
+
+import "math"
+
+// Regularized incomplete beta function and Student's t survival
+// function, used by the numeric-column validation extension (the "extend
+// the same validation principle also to numeric data" direction of the
+// paper's §7).
+
+// IncBeta returns the regularized incomplete beta function I_x(a, b).
+func IncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	// The continued fraction converges quickly for x below the
+	// crossover point; above it, evaluate the symmetric orientation
+	// I_x(a,b) = 1 - I_{1-x}(b,a) directly (no recursion: at a == b the
+	// crossover is exactly 1/2 and recursing would not terminate).
+	if x <= (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= gammaMaxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTSurvival returns P(|T| >= t) for a Student's t variable with
+// df degrees of freedom (the two-sided p-value of a t statistic).
+func StudentTSurvival(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return IncBeta(df/2, 0.5, x)
+}
+
+// WelchT computes Welch's unequal-variance t-test from sample summaries
+// (mean, variance, size) of two samples, returning the statistic,
+// degrees of freedom, and two-sided p-value.
+func WelchT(mean1, var1 float64, n1 int, mean2, var2 float64, n2 int) (t, df, p float64) {
+	if n1 < 2 || n2 < 2 {
+		return 0, 0, 1
+	}
+	se1 := var1 / float64(n1)
+	se2 := var2 / float64(n2)
+	se := se1 + se2
+	if se == 0 {
+		if mean1 == mean2 {
+			return 0, float64(n1 + n2 - 2), 1
+		}
+		return math.Inf(1), float64(n1 + n2 - 2), 0
+	}
+	t = (mean1 - mean2) / math.Sqrt(se)
+	df = se * se / (se1*se1/float64(n1-1) + se2*se2/float64(n2-1))
+	return t, df, StudentTSurvival(math.Abs(t), df)
+}
+
+// MeanVar returns the sample mean and (unbiased) variance.
+func MeanVar(xs []float64) (mean, variance float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= n - 1
+	return mean, variance
+}

@@ -1,0 +1,213 @@
+// Package tokens implements the character-class lexer that underlies the
+// Auto-Validate pattern language (SIGMOD 2021, §2.1 and §3).
+//
+// A value is scanned left to right and grown into maximal runs of a single
+// character class, exactly as the paper's lexer does before multi-sequence
+// alignment: letters, digits, spaces, and symbols. Symbols are emitted one
+// character per token so that vertical cuts can fall between punctuation
+// (the paper's example "[<num>|<num>/<num>..." treats each bracket and bar
+// as its own token).
+package tokens
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is the character class of a token run, the leaf layer of the
+// generalization hierarchy in Figure 4 of the paper.
+type Class uint8
+
+// Character classes. ClassAny is the hierarchy root <all> and never
+// produced by the lexer; it only appears in generalized patterns.
+const (
+	ClassNone Class = iota
+	ClassDigit
+	ClassLetter
+	ClassSymbol
+	ClassSpace
+	ClassAlnum // generalization of digit|letter, not produced by the lexer
+	ClassAny   // hierarchy root <all>, not produced by the lexer
+)
+
+// String returns the paper's notation for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassDigit:
+		return "<digit>"
+	case ClassLetter:
+		return "<letter>"
+	case ClassSymbol:
+		return "<symbol>"
+	case ClassSpace:
+		return "<space>"
+	case ClassAlnum:
+		return "<alnum>"
+	case ClassAny:
+		return "<all>"
+	default:
+		return "<none>"
+	}
+}
+
+// Generalizes reports whether class c is an ancestor-or-self of class d in
+// the Figure 4 hierarchy: <all> ⊇ <alnum> ⊇ {<digit>, <letter>};
+// <all> ⊇ {<symbol>, <space>}.
+func (c Class) Generalizes(d Class) bool {
+	if c == d {
+		return true
+	}
+	switch c {
+	case ClassAny:
+		return true
+	case ClassAlnum:
+		return d == ClassDigit || d == ClassLetter
+	default:
+		return false
+	}
+}
+
+// ClassOf returns the class of a single byte. Non-ASCII bytes are treated
+// as letters, which matches how the production lexer in the paper handles
+// extended characters in machine-generated data.
+func ClassOf(b byte) Class {
+	switch {
+	case b >= '0' && b <= '9':
+		return ClassDigit
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= 0x80:
+		return ClassLetter
+	case b == ' ' || b == '\t':
+		return ClassSpace
+	default:
+		return ClassSymbol
+	}
+}
+
+// Run is one maximal token produced by the lexer: a span of consecutive
+// characters of the same class (symbols are single characters).
+type Run struct {
+	Class Class
+	Text  string
+}
+
+// String renders the run for debugging.
+func (r Run) String() string {
+	return fmt.Sprintf("%s(%q)", r.Class, r.Text)
+}
+
+// Lex splits a value into its token runs. Empty input yields nil.
+func Lex(v string) []Run {
+	if v == "" {
+		return nil
+	}
+	runs := make([]Run, 0, 8)
+	start := 0
+	cur := ClassOf(v[0])
+	for i := 1; i <= len(v); i++ {
+		var c Class
+		if i < len(v) {
+			c = ClassOf(v[i])
+		}
+		// Break the run on class change, end of string, or — for
+		// symbols — every character, so punctuation tokens stay
+		// single-character.
+		if i == len(v) || c != cur || cur == ClassSymbol {
+			runs = append(runs, Run{Class: cur, Text: v[start:i]})
+			start = i
+			cur = c
+		}
+	}
+	return runs
+}
+
+// Count returns t(v), the number of tokens in value v as defined in §2.4
+// of the paper: consecutive sequences of letters, digits, or symbols.
+// Space runs count as (whitespace) symbol tokens, which reproduces the
+// paper's 13-token count for "9/07/2010 9:07:32 AM".
+func Count(v string) int {
+	return len(Lex(v))
+}
+
+// Shape returns a compact signature of the class sequence of a value,
+// used to group values drawn from the same coarse pattern (Algorithm 1's
+// first step emits one coarse token sequence per value; values with equal
+// shapes share it).
+func Shape(runs []Run) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		switch r.Class {
+		case ClassDigit:
+			sb.WriteByte('d')
+		case ClassLetter:
+			sb.WriteByte('l')
+		case ClassAlnum:
+			sb.WriteByte('a')
+		case ClassSpace:
+			sb.WriteByte('_')
+		default:
+			// Keep the symbol itself: "1/2" and "1-2" are
+			// different coarse shapes for alignment purposes.
+			sb.WriteByte('s')
+			sb.WriteString(r.Text)
+		}
+	}
+	return sb.String()
+}
+
+// ClassShape is like Shape but ignores symbol identities, grouping values
+// whose class sequences agree even when punctuation differs.
+func ClassShape(runs []Run) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		switch r.Class {
+		case ClassDigit:
+			sb.WriteByte('d')
+		case ClassLetter:
+			sb.WriteByte('l')
+		case ClassAlnum:
+			sb.WriteByte('a')
+		case ClassSpace:
+			sb.WriteByte('_')
+		default:
+			sb.WriteByte('s')
+		}
+	}
+	return sb.String()
+}
+
+// Classes returns just the class sequence of the runs.
+func Classes(runs []Run) []Class {
+	cs := make([]Class, len(runs))
+	for i, r := range runs {
+		cs[i] = r.Class
+	}
+	return cs
+}
+
+// MergeAlnum merges adjacent letter and digit runs into single <alnum>
+// runs — the coarser tokenization behind the <alnum> generalizations of
+// Figure 4, under which e.g. hex identifiers have a uniform shape.
+func MergeAlnum(runs []Run) []Run {
+	out := make([]Run, 0, len(runs))
+	for _, r := range runs {
+		c := r.Class
+		if c == ClassDigit || c == ClassLetter {
+			c = ClassAlnum
+		}
+		if n := len(out); n > 0 && out[n-1].Class == ClassAlnum && c == ClassAlnum {
+			out[n-1].Text += r.Text
+			continue
+		}
+		out = append(out, Run{Class: c, Text: r.Text})
+	}
+	return out
+}
+
+// Join reassembles the original value from its runs.
+func Join(runs []Run) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		sb.WriteString(r.Text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,173 @@
+package tokens
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasic(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []Run
+	}{
+		{"", nil},
+		{"abc", []Run{{ClassLetter, "abc"}}},
+		{"123", []Run{{ClassDigit, "123"}}},
+		{"9:07", []Run{{ClassDigit, "9"}, {ClassSymbol, ":"}, {ClassDigit, "07"}}},
+		{"Mar 01 2019", []Run{
+			{ClassLetter, "Mar"}, {ClassSpace, " "},
+			{ClassDigit, "01"}, {ClassSpace, " "},
+			{ClassDigit, "2019"},
+		}},
+		{"a--b", []Run{
+			{ClassLetter, "a"}, {ClassSymbol, "-"}, {ClassSymbol, "-"}, {ClassLetter, "b"},
+		}},
+		{"  x", []Run{{ClassSpace, "  "}, {ClassLetter, "x"}}},
+		{"en-US", []Run{{ClassLetter, "en"}, {ClassSymbol, "-"}, {ClassLetter, "US"}}},
+	}
+	for _, tc := range tests {
+		got := Lex(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("Lex(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Lex(%q)[%d] = %v, want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestLexSymbolsAreSingleChars(t *testing.T) {
+	runs := Lex("a[[]]b")
+	want := 6 // a, [, [, ], ], b
+	if len(runs) != want {
+		t.Fatalf("Lex(%q) produced %d runs %v, want %d", "a[[]]b", len(runs), runs, want)
+	}
+	for _, r := range runs[1:5] {
+		if r.Class != ClassSymbol || len(r.Text) != 1 {
+			t.Errorf("symbol run %v should be a single character", r)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"abc", 1},
+		{"Mar 01 2019", 5},
+		{"9/07/2010 9:07:32 AM", 13}, // the paper's 13-token date-time example
+		{"0.1", 3},
+	}
+	for _, tc := range tests {
+		if got := Count(tc.in); got != tc.want {
+			t.Errorf("Count(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	if got := Shape(Lex("9:07")); got != "ds:d" {
+		t.Errorf("Shape(9:07) = %q, want ds:d", got)
+	}
+	if Shape(Lex("1/2")) == Shape(Lex("1-2")) {
+		t.Error("Shape should distinguish symbol identities")
+	}
+	if ClassShape(Lex("1/2")) != ClassShape(Lex("1-2")) {
+		t.Error("ClassShape should ignore symbol identities")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[byte]Class{
+		'0': ClassDigit, '9': ClassDigit,
+		'a': ClassLetter, 'Z': ClassLetter,
+		' ': ClassSpace, '\t': ClassSpace,
+		'-': ClassSymbol, '/': ClassSymbol, ':': ClassSymbol, '.': ClassSymbol,
+	}
+	for b, want := range cases {
+		if got := ClassOf(b); got != want {
+			t.Errorf("ClassOf(%q) = %v, want %v", b, got, want)
+		}
+	}
+}
+
+func TestGeneralizes(t *testing.T) {
+	if !ClassAny.Generalizes(ClassDigit) || !ClassAny.Generalizes(ClassSymbol) {
+		t.Error("<all> must generalize every class")
+	}
+	if !ClassAlnum.Generalizes(ClassDigit) || !ClassAlnum.Generalizes(ClassLetter) {
+		t.Error("<alnum> must generalize digit and letter")
+	}
+	if ClassAlnum.Generalizes(ClassSymbol) {
+		t.Error("<alnum> must not generalize symbol")
+	}
+	if ClassDigit.Generalizes(ClassLetter) {
+		t.Error("<digit> must not generalize <letter>")
+	}
+	if !ClassDigit.Generalizes(ClassDigit) {
+		t.Error("Generalizes must be reflexive")
+	}
+}
+
+// Property: concatenating run texts reproduces the input (lossless lexing).
+func TestLexRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to ASCII-ish bytes; Lex is byte-oriented.
+		b := []byte(s)
+		for i := range b {
+			b[i] &= 0x7f
+			if b[i] == 0 {
+				b[i] = 'x'
+			}
+		}
+		in := string(b)
+		return Join(Lex(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every run is non-empty and uniform in class, and adjacent
+// non-symbol runs have different classes (maximality).
+func TestLexMaximalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := "abzAZ019 -/:._"
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(30)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		in := sb.String()
+		runs := Lex(in)
+		for k, r := range runs {
+			if r.Text == "" {
+				t.Fatalf("empty run in Lex(%q)", in)
+			}
+			for i := 0; i < len(r.Text); i++ {
+				if ClassOf(r.Text[i]) != r.Class {
+					t.Fatalf("mixed-class run %v in Lex(%q)", r, in)
+				}
+			}
+			if k > 0 && runs[k-1].Class == r.Class && r.Class != ClassSymbol {
+				t.Fatalf("non-maximal adjacent runs %v | %v in Lex(%q)", runs[k-1], r, in)
+			}
+		}
+	}
+}
+
+func BenchmarkLex(b *testing.B) {
+	v := "9/07/2010 9:07:32 AM"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Lex(v)
+	}
+}

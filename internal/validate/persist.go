@@ -1,0 +1,125 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/stats"
+)
+
+// ruleJSON is the persisted form of a Rule: patterns are stored in the
+// canonical notation and parsed back on load.
+type ruleJSON struct {
+	Pattern            string   `json:"pattern"`
+	EstimatedFPR       float64  `json:"estimated_fpr"`
+	TrainNonConforming int      `json:"train_non_conforming"`
+	TrainTotal         int      `json:"train_total"`
+	Test               string   `json:"test"`
+	Alpha              float64  `json:"alpha"`
+	Strategy           string   `json:"strategy"`
+	Segments           []string `json:"segments,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Rule) MarshalJSON() ([]byte, error) {
+	out := ruleJSON{
+		Pattern:            r.Pattern.String(),
+		EstimatedFPR:       r.EstimatedFPR,
+		TrainNonConforming: r.TrainNonConforming,
+		TrainTotal:         r.TrainTotal,
+		Test:               r.Test.String(),
+		Alpha:              r.Alpha,
+		Strategy:           r.Strategy,
+	}
+	for _, s := range r.Segments {
+		out.Segments = append(out.Segments, s.String())
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	var in ruleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	pat, err := pattern.Parse(in.Pattern)
+	if err != nil {
+		return fmt.Errorf("validate: rule pattern: %w", err)
+	}
+	var segs []pattern.Pattern
+	for _, s := range in.Segments {
+		seg, err := pattern.Parse(s)
+		if err != nil {
+			return fmt.Errorf("validate: rule segment: %w", err)
+		}
+		segs = append(segs, seg)
+	}
+	test := stats.Fisher
+	if in.Test == stats.ChiSquared.String() {
+		test = stats.ChiSquared
+	}
+	*r = Rule{
+		Pattern:            pat,
+		EstimatedFPR:       in.EstimatedFPR,
+		TrainNonConforming: in.TrainNonConforming,
+		TrainTotal:         in.TrainTotal,
+		Test:               test,
+		Alpha:              in.Alpha,
+		Strategy:           in.Strategy,
+		Segments:           segs,
+	}
+	return nil
+}
+
+// Save writes the rule as JSON.
+func (r *Rule) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	return nil
+}
+
+// LoadRule reads a rule written by Save.
+func LoadRule(path string) (*Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("validate: %w", err)
+	}
+	var r Rule
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// SaveRuleSet writes a rule set as a JSON object keyed by column name.
+func (rs *RuleSet) Save(path string) error {
+	data, err := json.MarshalIndent(rs.Rules, "", "  ")
+	if err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	return nil
+}
+
+// LoadRuleSet reads a rule set written by RuleSet.Save.
+func LoadRuleSet(path string) (*RuleSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("validate: %w", err)
+	}
+	rs := NewRuleSet()
+	if err := json.Unmarshal(data, &rs.Rules); err != nil {
+		return nil, fmt.Errorf("validate: %w", err)
+	}
+	return rs, nil
+}

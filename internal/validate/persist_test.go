@@ -1,0 +1,89 @@
+package validate
+
+import (
+	"path/filepath"
+	"testing"
+
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/stats"
+)
+
+func TestRuleSaveLoadRoundTrip(t *testing.T) {
+	r := dateRule()
+	r.EstimatedFPR = 0.0042
+	r.TrainNonConforming = 3
+	r.Strategy = "FMDV-VH"
+	r.Segments = []pattern.Pattern{
+		pattern.MustParse("<letter>{3}"),
+		pattern.MustParse(" <digit>{2} <digit>{4}"),
+	}
+	path := filepath.Join(t.TempDir(), "rule.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pattern.String() != r.Pattern.String() {
+		t.Errorf("pattern round trip: %q != %q", got.Pattern, r.Pattern)
+	}
+	if got.EstimatedFPR != r.EstimatedFPR || got.TrainNonConforming != 3 || got.TrainTotal != r.TrainTotal {
+		t.Errorf("fields lost: %+v", got)
+	}
+	if got.Strategy != "FMDV-VH" || len(got.Segments) != 2 {
+		t.Errorf("strategy/segments lost: %+v", got)
+	}
+	// The reloaded rule behaves identically.
+	batch := dates(100)
+	a, _ := r.Validate(batch)
+	b, _ := got.Validate(batch)
+	if a.NonConforming != b.NonConforming || a.Alarm != b.Alarm {
+		t.Errorf("behaviour differs after reload: %v vs %v", a, b)
+	}
+}
+
+func TestRuleChiSquaredRoundTrip(t *testing.T) {
+	r := dateRule()
+	r.Test = stats.ChiSquared
+	path := filepath.Join(t.TempDir(), "rule.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Test != stats.ChiSquared {
+		t.Errorf("test kind lost: %v", got.Test)
+	}
+}
+
+func TestRuleSetSaveLoadRoundTrip(t *testing.T) {
+	rs := NewRuleSet()
+	rs.Add("date", dateRule())
+	other := dateRule()
+	other.Pattern = pattern.MustParse("<letter>{2}-<letter>{2}")
+	rs.Add("locale", other)
+
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := rs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRuleSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != 2 {
+		t.Fatalf("rules lost: %d", len(got.Rules))
+	}
+	if got.Rules["locale"].Pattern.String() != "<letter>{2}-<letter>{2}" {
+		t.Errorf("locale pattern = %q", got.Rules["locale"].Pattern)
+	}
+}
+
+func TestLoadRuleErrors(t *testing.T) {
+	if _, err := LoadRule(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,159 @@
+// Package validate implements the online half of Auto-Validate: applying
+// an inferred data-domain pattern to future data, with the paper's §4
+// distributional test deciding whether the non-conforming fraction has
+// drifted significantly from what was seen at training time.
+package validate
+
+import (
+	"errors"
+	"fmt"
+
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/stats"
+)
+
+// Rule is a learned single-column validation rule: a data-domain pattern
+// plus the training-time non-conforming statistics needed by the
+// two-sample homogeneity test.
+type Rule struct {
+	// Pattern is the inferred data-domain pattern h(C).
+	Pattern pattern.Pattern
+	// EstimatedFPR is FPR_T(h) from the offline index at inference
+	// time (for vertical cuts, the summed per-segment estimate).
+	EstimatedFPR float64
+	// TrainNonConforming and TrainTotal give θ_C(h) =
+	// TrainNonConforming/TrainTotal, the training non-conforming rate.
+	TrainNonConforming int
+	TrainTotal         int
+	// Test selects Fisher's exact test or chi-squared with Yates
+	// correction; Alpha is the significance level (the paper uses
+	// two-tailed Fisher at 0.01).
+	Test  stats.TwoSampleTest
+	Alpha float64
+	// Strategy records which FMDV variant produced the rule.
+	Strategy string
+	// Segments, for vertically cut rules, holds the per-segment
+	// patterns whose concatenation is Pattern.
+	Segments []pattern.Pattern
+}
+
+// TrainTheta returns θ_C(h), the training-time non-conforming fraction.
+func (r *Rule) TrainTheta() float64 {
+	if r.TrainTotal == 0 {
+		return 0
+	}
+	return float64(r.TrainNonConforming) / float64(r.TrainTotal)
+}
+
+// Report is the outcome of validating one batch of future values.
+type Report struct {
+	Total         int
+	NonConforming int
+	// TrainTheta and TestTheta are θ_C(h) and θ_C'(h).
+	TrainTheta float64
+	TestTheta  float64
+	// PValue is the two-sample homogeneity test p-value; Alarm is true
+	// when the null hypothesis (same non-conforming distribution) is
+	// rejected at the rule's significance level.
+	PValue float64
+	Alarm  bool
+	// Examples holds up to a few non-conforming values for triage.
+	Examples []string
+}
+
+// String renders a one-line summary.
+func (rep Report) String() string {
+	verdict := "ok"
+	if rep.Alarm {
+		verdict = "ALARM"
+	}
+	return fmt.Sprintf("%s: %d/%d non-conforming (train θ=%.4f, test θ=%.4f, p=%.4g)",
+		verdict, rep.NonConforming, rep.Total, rep.TrainTheta, rep.TestTheta, rep.PValue)
+}
+
+// ErrEmptyBatch is returned when validating an empty value batch.
+var ErrEmptyBatch = errors.New("validate: empty batch")
+
+const maxExamples = 5
+
+// Validate applies the rule to a batch of future values C', computing
+// θ_C'(h) and the §4 two-sample test against the training distribution.
+func (r *Rule) Validate(values []string) (Report, error) {
+	if len(values) == 0 {
+		return Report{}, ErrEmptyBatch
+	}
+	rep := Report{Total: len(values), TrainTheta: r.TrainTheta()}
+	for _, v := range values {
+		if !r.Pattern.Match(v) {
+			rep.NonConforming++
+			if len(rep.Examples) < maxExamples {
+				rep.Examples = append(rep.Examples, v)
+			}
+		}
+	}
+	rep.TestTheta = float64(rep.NonConforming) / float64(rep.Total)
+	p, err := stats.HomogeneityPValue(r.Test, r.TrainNonConforming, r.TrainTotal, rep.NonConforming, rep.Total)
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: %w", err)
+	}
+	rep.PValue = p
+	// Alarm only on an *increase* in non-conforming fraction that the
+	// test deems significant; a significant decrease is an improvement,
+	// not a data-quality issue.
+	rep.Alarm = p < r.Alpha && rep.TestTheta > rep.TrainTheta
+	return rep, nil
+}
+
+// Flags reports whether the rule would alarm on the batch, squashing the
+// error for empty batches to false (nothing arrived, nothing to flag).
+func (r *Rule) Flags(values []string) bool {
+	rep, err := r.Validate(values)
+	if err != nil {
+		return false
+	}
+	return rep.Alarm
+}
+
+// RuleSet validates a whole table: one rule per column name.
+type RuleSet struct {
+	Rules map[string]*Rule
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet { return &RuleSet{Rules: map[string]*Rule{}} }
+
+// Add registers a rule for a column.
+func (rs *RuleSet) Add(column string, r *Rule) { rs.Rules[column] = r }
+
+// ColumnReport pairs a column name with its validation report.
+type ColumnReport struct {
+	Column string
+	Report Report
+	Err    error
+}
+
+// ValidateColumns applies every rule to its column's values (columns with
+// no rule are skipped) and returns per-column reports, alarms first.
+func (rs *RuleSet) ValidateColumns(cols map[string][]string) []ColumnReport {
+	var out []ColumnReport
+	for name, r := range rs.Rules {
+		vals, ok := cols[name]
+		if !ok {
+			continue
+		}
+		rep, err := r.Validate(vals)
+		out = append(out, ColumnReport{Column: name, Report: rep, Err: err})
+	}
+	// Alarms first, then by column name for stable output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if (b.Report.Alarm && !a.Report.Alarm) || (b.Report.Alarm == a.Report.Alarm && b.Column < a.Column) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

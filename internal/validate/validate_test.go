@@ -1,0 +1,206 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/stats"
+	"autovalidate/internal/tokens"
+)
+
+func dateRule() *Rule {
+	return &Rule{
+		Pattern: pattern.New(
+			pattern.ClassN(tokens.ClassLetter, 3), pattern.Lit(" "),
+			pattern.ClassN(tokens.ClassDigit, 2), pattern.Lit(" "),
+			pattern.ClassN(tokens.ClassDigit, 4),
+		),
+		TrainTotal: 100,
+		Test:       stats.Fisher,
+		Alpha:      0.01,
+		Strategy:   "FMDV",
+	}
+}
+
+func dates(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Apr %02d 2021", 1+i%28)
+	}
+	return out
+}
+
+func TestValidateCleanBatch(t *testing.T) {
+	rep, err := dateRule().Validate(dates(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm || rep.NonConforming != 0 {
+		t.Errorf("clean batch should pass: %v", rep)
+	}
+	if rep.PValue < 0.99 {
+		t.Errorf("identical distributions should have p≈1, got %v", rep.PValue)
+	}
+}
+
+func TestValidateDriftedBatch(t *testing.T) {
+	vals := dates(500)
+	for i := 0; i < 50; i++ { // 10% garbage
+		vals[i*10] = "oops"
+	}
+	rep, err := dateRule().Validate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Errorf("10%% non-conforming vs 0%% train must alarm: %v", rep)
+	}
+	if len(rep.Examples) == 0 || rep.Examples[0] != "oops" {
+		t.Errorf("examples should include offending values: %v", rep.Examples)
+	}
+}
+
+func TestValidateSmallFluctuationNoAlarm(t *testing.T) {
+	// The paper's §4 motivating case: θ_C = 0.1% (1/1000) at train
+	// time, θ_C' = 0.11% at test time must not alarm.
+	r := dateRule()
+	r.TrainTotal = 1000
+	r.TrainNonConforming = 1
+	vals := dates(9000)
+	for i := 0; i < 10; i++ {
+		vals[i*900] = "bad"
+	}
+	rep, err := r.Validate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("0.1%% vs 0.11%% should not alarm: %v", rep)
+	}
+}
+
+func TestValidateCompleteMismatch(t *testing.T) {
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = "en-US"
+	}
+	rep, err := dateRule().Validate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm || rep.TestTheta != 1 {
+		t.Errorf("schema drift (100%% mismatch) must alarm: %v", rep)
+	}
+}
+
+func TestValidateImprovementDoesNotAlarm(t *testing.T) {
+	// A rule trained with 20% non-conforming seeing a clean batch is an
+	// improvement, not an issue.
+	r := dateRule()
+	r.TrainTotal = 100
+	r.TrainNonConforming = 20
+	rep, err := r.Validate(dates(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Errorf("a cleaner batch must not alarm: %v", rep)
+	}
+}
+
+func TestValidateEmptyBatch(t *testing.T) {
+	if _, err := dateRule().Validate(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Errorf("want ErrEmptyBatch, got %v", err)
+	}
+	if dateRule().Flags(nil) {
+		t.Error("Flags on empty batch should be false")
+	}
+}
+
+func TestValidateChiSquaredVariant(t *testing.T) {
+	r := dateRule()
+	r.Test = stats.ChiSquared
+	vals := dates(400)
+	for i := 0; i < 40; i++ {
+		vals[i*10] = "junk"
+	}
+	rep, err := r.Validate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Errorf("chi-squared variant should alarm on 10%% drift: %v", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Total: 10, NonConforming: 2, TestTheta: 0.2, PValue: 0.001, Alarm: true}
+	s := rep.String()
+	if !strings.Contains(s, "ALARM") || !strings.Contains(s, "2/10") {
+		t.Errorf("Report.String() = %q", s)
+	}
+}
+
+func TestTrainTheta(t *testing.T) {
+	r := &Rule{TrainTotal: 0}
+	if r.TrainTheta() != 0 {
+		t.Error("zero train total should give θ=0")
+	}
+	r = &Rule{TrainTotal: 200, TrainNonConforming: 10}
+	if r.TrainTheta() != 0.05 {
+		t.Errorf("TrainTheta = %v, want 0.05", r.TrainTheta())
+	}
+}
+
+func TestRuleSetValidateColumns(t *testing.T) {
+	rs := NewRuleSet()
+	rs.Add("date", dateRule())
+	localeRule := &Rule{
+		Pattern:    pattern.New(pattern.ClassN(tokens.ClassLetter, 2), pattern.Lit("-"), pattern.ClassN(tokens.ClassLetter, 2)),
+		TrainTotal: 100, Test: stats.Fisher, Alpha: 0.01,
+	}
+	rs.Add("locale", localeRule)
+
+	cols := map[string][]string{
+		"date":   dates(200),
+		"locale": make([]string, 200),
+		"extra":  {"ignored"},
+	}
+	for i := range cols["locale"] {
+		cols["locale"][i] = "not a locale at all"
+	}
+	reports := rs.ValidateColumns(cols)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	// Alarms sort first.
+	if reports[0].Column != "locale" || !reports[0].Report.Alarm {
+		t.Errorf("expected locale alarm first, got %+v", reports[0])
+	}
+	if reports[1].Column != "date" || reports[1].Report.Alarm {
+		t.Errorf("expected clean date second, got %+v", reports[1])
+	}
+}
+
+func TestValidateSegmentedRulePattern(t *testing.T) {
+	// A vertically cut rule's concatenated pattern must match composed
+	// values end to end.
+	seg1 := pattern.New(pattern.ClassPlus(tokens.ClassDigit))
+	seg2 := pattern.New(pattern.Lit("|"))
+	seg3 := pattern.New(pattern.ClassPlus(tokens.ClassLetter))
+	r := &Rule{
+		Pattern:    pattern.Concat(seg1, seg2, seg3),
+		Segments:   []pattern.Pattern{seg1, seg2, seg3},
+		TrainTotal: 50, Test: stats.Fisher, Alpha: 0.01,
+	}
+	rep, err := r.Validate([]string{"12|ab", "3|xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonConforming != 0 {
+		t.Errorf("segmented pattern should match composed values: %v", rep)
+	}
+}
