@@ -32,6 +32,7 @@ import (
 	"autovalidate/internal/corpus"
 	"autovalidate/internal/index"
 	"autovalidate/internal/pattern"
+	"autovalidate/internal/service"
 	"autovalidate/internal/stats"
 	"autovalidate/internal/validate"
 )
@@ -76,6 +77,24 @@ type (
 
 	// TwoSampleTest selects the drift test of §4.
 	TwoSampleTest = stats.TwoSampleTest
+
+	// Service is the long-running HTTP validation service: one loaded
+	// index, /infer and /validate endpoints, and an LRU cache of
+	// inferred rules keyed by column fingerprint.
+	Service = service.Server
+	// ServiceConfig configures a Service.
+	ServiceConfig = service.Config
+	// ServiceStats snapshots a Service's cache and traffic counters.
+	ServiceStats = service.Stats
+	// InferRequest / InferResponse and ValidateRequest /
+	// ValidateResponse are the service's JSON wire types, exported so
+	// Go clients can talk to avserve without hand-rolled structs.
+	InferRequest     = service.InferRequest
+	InferResponse    = service.InferResponse
+	ValidateRequest  = service.ValidateRequest
+	ValidateResponse = service.ValidateResponse
+	// RuleParams are the per-request inference overrides.
+	RuleParams = service.RuleParams
 )
 
 // FMDV variants (§2-§4). FMDVVH is the paper's recommended default.
@@ -129,8 +148,23 @@ func BuildIndex(c *Corpus, opt BuildOptions) *Index {
 	return index.Build(c.Columns(), opt)
 }
 
-// LoadIndex reads an index written by Index.Save.
+// LoadIndex reads an index written by Index.Save — either the current
+// sharded v2 format (shards load in parallel) or the legacy v1 blob.
 func LoadIndex(path string) (*Index, error) { return index.Load(path) }
+
+// DefaultIndexShards returns the default index shard count for this
+// machine.
+func DefaultIndexShards() int { return index.DefaultShards() }
+
+// NewService builds the long-running validation service over a loaded
+// index. Serve its Handler with net/http (or use cmd/avserve).
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// FingerprintColumn returns the cache fingerprint the service assigns to
+// a training column under the given inference options.
+func FingerprintColumn(values []string, opt Options) string {
+	return service.Fingerprint(values, opt)
+}
 
 // Infer produces a validation rule for a query column using the chosen
 // FMDV variant against the offline index (§2.3, §3, §4).

@@ -7,6 +7,12 @@
 package autovalidate_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -260,6 +266,165 @@ func BenchmarkOfflineIndexBuild(b *testing.B) {
 		idx := autovalidate.BuildIndex(lake, autovalidate.DefaultBuildOptions())
 		if idx.Size() == 0 {
 			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkIndexBuildFlat builds the offline index as a single flat
+// map (the pre-sharding layout: one shard, pairwise reduce) — the
+// baseline for BenchmarkIndexBuildSharded.
+func BenchmarkIndexBuildFlat(b *testing.B) {
+	lake := datagen.Generate(datagen.Enterprise(60, 5))
+	opt := autovalidate.DefaultBuildOptions()
+	opt.Shards = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := autovalidate.BuildIndex(lake, opt)
+		if idx.Size() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkIndexBuildSharded builds the same index with the default
+// shard count: worker-local combiners emit straight into their target
+// shard and the final reduce runs one goroutine per shard.
+func BenchmarkIndexBuildSharded(b *testing.B) {
+	lake := datagen.Generate(datagen.Enterprise(60, 5))
+	opt := autovalidate.DefaultBuildOptions()
+	opt.Shards = autovalidate.DefaultIndexShards()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := autovalidate.BuildIndex(lake, opt)
+		if idx.Size() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// benchPersistIndex builds one index for the persistence benchmarks.
+func benchPersistIndex(b *testing.B) *autovalidate.Index {
+	b.Helper()
+	lake := datagen.Generate(datagen.Enterprise(60, 5))
+	return autovalidate.BuildIndex(lake, autovalidate.DefaultBuildOptions())
+}
+
+// BenchmarkIndexPersistV1 round-trips the index through the legacy v1
+// single-gob-blob format.
+func BenchmarkIndexPersistV1(b *testing.B) {
+	idx := benchPersistIndex(b)
+	path := filepath.Join(b.TempDir(), "bench-v1.idx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.SaveV1(path); err != nil {
+			b.Fatal(err)
+		}
+		got, err := autovalidate.LoadIndex(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Size() != idx.Size() {
+			b.Fatalf("size %d, want %d", got.Size(), idx.Size())
+		}
+	}
+}
+
+// BenchmarkIndexPersistV2 round-trips through the sharded v2 format:
+// per-shard sections encode and decode in parallel.
+func BenchmarkIndexPersistV2(b *testing.B) {
+	idx := benchPersistIndex(b)
+	path := filepath.Join(b.TempDir(), "bench-v2.idx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Save(path); err != nil {
+			b.Fatal(err)
+		}
+		got, err := autovalidate.LoadIndex(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Size() != idx.Size() {
+			b.Fatalf("size %d, want %d", got.Size(), idx.Size())
+		}
+	}
+}
+
+// benchService builds a validation service over the shared environment's
+// Enterprise index.
+func benchService(b *testing.B) *autovalidate.Service {
+	b.Helper()
+	env := benchEnvironment(b)
+	opt := core.DefaultOptions()
+	opt.M = env.Cfg.M
+	svc, err := autovalidate.NewService(autovalidate.ServiceConfig{Index: env.IdxE, Options: &opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// serviceInfer posts one /infer request against an httptest server.
+func serviceInfer(b *testing.B, url string, body []byte) autovalidate.InferResponse {
+	b.Helper()
+	resp, err := http.Post(url+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out autovalidate.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("/infer status %d", resp.StatusCode)
+	}
+	return out
+}
+
+// BenchmarkServiceInferCold times /infer with the rule cache defeated
+// (a unique column every iteration): full FMDV per request.
+func BenchmarkServiceInferCold(b *testing.B) {
+	svc := benchService(b)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	vals, err := datagen.FreshColumn("timestamp_us", 100, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary one value so every request has a fresh fingerprint.
+		vals[0] = fmt.Sprintf("%d", i)
+		body, _ := json.Marshal(autovalidate.InferRequest{Values: vals})
+		out := serviceInfer(b, ts.URL, body)
+		if out.Cached {
+			b.Fatal("cold benchmark hit the cache")
+		}
+	}
+}
+
+// BenchmarkServiceInferCached times /infer on a repeated column: after
+// the first request every inference is an LRU hit, the paper's recurring
+// -pipeline serving path.
+func BenchmarkServiceInferCached(b *testing.B) {
+	svc := benchService(b)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	vals, err := datagen.FreshColumn("timestamp_us", 100, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := json.Marshal(autovalidate.InferRequest{Values: vals})
+	serviceInfer(b, ts.URL, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := serviceInfer(b, ts.URL, body)
+		if !out.Cached {
+			b.Fatal("cached benchmark missed the cache")
 		}
 	}
 }

@@ -1,11 +1,17 @@
 package autovalidate_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"autovalidate"
 )
 
 // TestCLIEndToEnd drives the four pipeline tools the way an operator
@@ -85,6 +91,124 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = run(1, "avvalidate", "-index", idx, "-train", feed, "-test", drifted, "-m", "5")
 	if !strings.Contains(out, "ALARM") {
 		t.Fatalf("avvalidate drift output: %s", out)
+	}
+}
+
+// TestAvserveEndToEnd drives the serving layer the way a deployment
+// would: build an index offline, start avserve on it, infer a rule over
+// HTTP, validate a clean batch (passes) and a drifted batch (alarms),
+// and confirm the second identical inference is served from the rule
+// cache.
+func TestAvserveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"avgen", "avindex", "avserve"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	lake := filepath.Join(dir, "lake")
+	if out, err := exec.Command(bin("avgen"), "-profile", "enterprise", "-tables", "40", "-seed", "3", "-out", lake).CombinedOutput(); err != nil {
+		t.Fatalf("avgen: %v\n%s", err, out)
+	}
+	idx := filepath.Join(dir, "lake.idx")
+	if out, err := exec.Command(bin("avindex"), "-corpus", lake, "-out", idx).CombinedOutput(); err != nil {
+		t.Fatalf("avindex: %v\n%s", err, out)
+	}
+
+	// Start the service on an ephemeral port and scrape it from stdout.
+	cmd := exec.Command(bin("avserve"), "-index", idx, "-addr", "127.0.0.1:0", "-m", "5")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	var base string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		if addr, ok := strings.CutPrefix(scanner.Text(), "avserve: listening on "); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("avserve never announced its address: %v", scanner.Err())
+	}
+
+	// Training and batch data come from one generated feed column.
+	files, err := filepath.Glob(filepath.Join(lake, "*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("lake files: %v %v", files, err)
+	}
+	tbl, err := autovalidate.LoadTable(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := tbl.Columns[0].Values
+	drifted := append(append([]string{}, train...), tbl.Columns[1].Values...)
+
+	post := func(path string, body map[string]any) (int, map[string]any) {
+		t.Helper()
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("POST %s: decoding: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, inf := post("/infer", map[string]any{"values": train})
+	if code != http.StatusOK {
+		t.Fatalf("/infer: status %d: %v", code, inf)
+	}
+	fp, _ := inf["fingerprint"].(string)
+	if fp == "" || inf["rule"] == nil {
+		t.Fatalf("/infer response incomplete: %v", inf)
+	}
+	if cached, _ := inf["cached"].(bool); cached {
+		t.Error("first inference reported as cached")
+	}
+
+	code, again := post("/infer", map[string]any{"values": train})
+	if code != http.StatusOK || again["cached"] != true {
+		t.Errorf("repeat /infer should hit the cache: status %d, %v", code, again)
+	}
+
+	code, clean := post("/validate", map[string]any{"fingerprint": fp, "values": train})
+	if code != http.StatusOK {
+		t.Fatalf("/validate clean: status %d: %v", code, clean)
+	}
+	if alarm := clean["report"].(map[string]any)["Alarm"]; alarm != false {
+		t.Errorf("training column alarmed against its own rule: %v", clean)
+	}
+
+	code, bad := post("/validate", map[string]any{"fingerprint": fp, "values": drifted})
+	if code != http.StatusOK {
+		t.Fatalf("/validate drifted: status %d: %v", code, bad)
+	}
+	report := bad["report"].(map[string]any)
+	if report["Alarm"] != true {
+		t.Errorf("drifted batch did not alarm: %v", report)
 	}
 }
 

@@ -1,0 +1,108 @@
+// Command avserve runs the long-running Auto-Validate service: it loads
+// a persisted offline index once and serves rule inference and batch
+// validation over HTTP, caching inferred rules so recurring pipelines
+// skip FMDV after their first run.
+//
+// Usage:
+//
+//	avserve -index lake.idx -addr :8077
+//
+// Endpoints:
+//
+//	POST /infer     {"values": [...]}                 → rule + fingerprint
+//	POST /validate  {"fingerprint": "...", "values": [...]} → drift report
+//	GET  /healthz   index summary
+//	GET  /stats     cache and traffic counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autovalidate"
+)
+
+func main() {
+	idxPath := flag.String("index", "lake.idx", "offline index file (built by avindex)")
+	addr := flag.String("addr", ":8077", "listen address (port 0 picks a free port)")
+	cacheSize := flag.Int("cache", 1024, "rule-cache capacity (entries)")
+	r := flag.Float64("r", 0.1, "default FPR target r")
+	m := flag.Int("m", 100, "default coverage target m")
+	theta := flag.Float64("theta", 0.1, "default non-conforming tolerance θ")
+	alpha := flag.Float64("alpha", 0.01, "default drift-test significance level")
+	strategy := flag.String("strategy", "FMDV-VH", "default FMDV variant (FMDV, FMDV-V, FMDV-H, FMDV-VH)")
+	shards := flag.Int("shards", 0, "reshard the loaded index (0 keeps the persisted shard count)")
+	flag.Parse()
+
+	start := time.Now()
+	idx, err := autovalidate.LoadIndex(*idxPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *shards > 0 {
+		idx.Reshard(*shards)
+	}
+	fmt.Printf("avserve: loaded %s in %s\n", idx, time.Since(start).Round(time.Millisecond))
+
+	opt := autovalidate.DefaultOptions()
+	opt.R, opt.M, opt.Theta, opt.Alpha = *r, *m, *theta, *alpha
+	opt.Tau = idx.Enum.MaxTokens
+	switch *strategy {
+	case "FMDV":
+		opt.Strategy = autovalidate.FMDV
+	case "FMDV-V":
+		opt.Strategy = autovalidate.FMDVV
+	case "FMDV-H":
+		opt.Strategy = autovalidate.FMDVH
+	case "FMDV-VH":
+		opt.Strategy = autovalidate.FMDVVH
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	svc, err := autovalidate.NewService(autovalidate.ServiceConfig{
+		Index:     idx,
+		Options:   &opt,
+		CacheSize: *cacheSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("avserve: listening on %s\n", ln.Addr())
+
+	server := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("avserve: shut down")
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avserve:", err)
+	os.Exit(1)
+}

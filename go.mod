@@ -1,0 +1,3 @@
+module autovalidate
+
+go 1.24

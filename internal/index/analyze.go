@@ -7,7 +7,7 @@ import "sort"
 // Figure 13(a). Keys are token counts, values are pattern counts.
 func (idx *Index) TokenHistogram() map[int]int {
 	h := map[int]int{}
-	for _, e := range idx.Entries {
+	for _, e := range idx.All() {
 		h[int(e.Tokens)]++
 	}
 	return h
@@ -18,7 +18,7 @@ func (idx *Index) TokenHistogram() map[int]int {
 // coverage — Figure 13(b)'s power-law plot.
 func (idx *Index) FrequencyHistogram() map[int]int {
 	h := map[int]int{}
-	for _, e := range idx.Entries {
+	for _, e := range idx.All() {
 		h[int(e.Cov)]++
 	}
 	return h
@@ -53,14 +53,15 @@ func SortedRows(h map[int]int) []HistogramRow {
 // of candidate patterns are low-coverage (Figure 13(b)); this statistic
 // quantifies that tail.
 func (idx *Index) PowerLawTailShare(maxCov uint32) float64 {
-	if len(idx.Entries) == 0 {
+	size := idx.Size()
+	if size == 0 {
 		return 0
 	}
 	n := 0
-	for _, e := range idx.Entries {
+	for _, e := range idx.All() {
 		if e.Cov <= maxCov {
 			n++
 		}
 	}
-	return float64(n) / float64(len(idx.Entries))
+	return float64(n) / float64(size)
 }

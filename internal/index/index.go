@@ -4,10 +4,19 @@
 // false-positive rate FPR_T(p) (Definition 3) and coverage Cov_T(p), so
 // that online inference needs only O(1) lookups per hypothesis instead of
 // a corpus scan.
+//
+// The pattern space is partitioned by key hash into independent shards.
+// Each shard is built lock-free by the shard-aware map-reduce job (one
+// merge goroutine per shard, no cross-shard rehash), persisted as its own
+// binary section, and loaded in parallel — the unit of scale every
+// serving-layer feature builds on.
 package index
 
 import (
 	"fmt"
+	"hash/fnv"
+	"iter"
+	"runtime"
 	"sort"
 
 	"autovalidate/internal/corpus"
@@ -36,10 +45,11 @@ func (e Entry) FPR() float64 {
 	return e.SumImp / float64(e.Cov)
 }
 
-// Index is the offline index over a corpus.
+// Index is the offline index over a corpus, sharded by pattern-key hash.
 type Index struct {
-	// Entries maps a pattern's canonical key to its evidence.
-	Entries map[string]Entry
+	// shards partitions the pattern space: shards[shardOf(key,
+	// len(shards))] holds key. Always non-empty.
+	shards []map[string]Entry
 	// Enum records the enumeration options the index was built with;
 	// queries should enumerate hypotheses compatibly (notably the same
 	// τ) or risk lookup misses.
@@ -51,6 +61,88 @@ type Index struct {
 	SkippedWide int
 }
 
+// New returns an empty index with nshards shards (clamped to at least 1).
+func New(nshards int) *Index {
+	if nshards < 1 {
+		nshards = 1
+	}
+	shards := make([]map[string]Entry, nshards)
+	for s := range shards {
+		shards[s] = make(map[string]Entry)
+	}
+	return &Index{shards: shards}
+}
+
+// DefaultShards returns the default shard count: GOMAXPROCS rounded up to
+// a power of two, clamped to [8, 64]. Enough shards that building and
+// loading parallelize across available cores, few enough that tiny
+// corpora don't pay per-shard overhead.
+func DefaultShards() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n *= 2
+	}
+	return n
+}
+
+// shardOf maps a pattern key to its shard with FNV-1a, which is stable
+// across processes — the persisted v2 format depends on it.
+func shardOf(key string, nshards int) int {
+	if nshards == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(nshards))
+}
+
+// NumShards returns the shard count.
+func (idx *Index) NumShards() int { return len(idx.shards) }
+
+// put inserts or replaces one entry.
+func (idx *Index) put(key string, e Entry) {
+	idx.shards[shardOf(key, len(idx.shards))][key] = e
+}
+
+// delete removes one entry.
+func (idx *Index) delete(key string) {
+	delete(idx.shards[shardOf(key, len(idx.shards))], key)
+}
+
+// All iterates over every (key, entry) pair, shard by shard.
+func (idx *Index) All() iter.Seq2[string, Entry] {
+	return func(yield func(string, Entry) bool) {
+		for _, shard := range idx.shards {
+			for k, e := range shard {
+				if !yield(k, e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Reshard redistributes the entries across nshards shards (clamped to at
+// least 1). Used when a persisted index was written with a different
+// shard count than the serving configuration wants.
+func (idx *Index) Reshard(nshards int) {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards == len(idx.shards) {
+		return
+	}
+	shards := make([]map[string]Entry, nshards)
+	per := idx.Size()/nshards + 1
+	for s := range shards {
+		shards[s] = make(map[string]Entry, per)
+	}
+	for k, e := range idx.All() {
+		shards[shardOf(k, nshards)][k] = e
+	}
+	idx.shards = shards
+}
+
 // BuildOptions configure an offline build.
 type BuildOptions struct {
 	// Enum are the enumeration options; MinSupport here is the
@@ -59,7 +151,11 @@ type BuildOptions struct {
 	Enum pattern.EnumOptions
 	// Workers is the map parallelism (0 = GOMAXPROCS).
 	Workers int
-	// Progress is called as columns complete.
+	// Shards is the number of index shards (0 = DefaultShards; 1
+	// reproduces the former flat single-map build).
+	Shards int
+	// Progress is called as columns complete. It may be invoked
+	// concurrently from multiple workers.
 	Progress func(done, total int)
 }
 
@@ -71,61 +167,61 @@ func DefaultBuildOptions() BuildOptions {
 	return BuildOptions{Enum: enum}
 }
 
-type partial struct {
-	sumImp float64
-	cov    uint32
-	wide   uint32 // columns fully skipped (keyed under a sentinel)
-	tokens uint16
-}
-
+// wideSentinel is the reserved aggregation key counting fully-skipped
+// columns; its Cov field carries the count. It contains a NUL byte, which
+// no canonical pattern key does.
 const wideSentinel = "\x00wide"
 
 // Build scans the columns and produces the offline index. The scan runs
-// on the map-reduce substrate: each column maps to its local pattern
-// evidence {(p, Imp_D(p))}, which is combined by summation — the same
-// dataflow as the paper's SCOPE job.
+// on the shard-aware map-reduce substrate: each column maps to its local
+// pattern evidence {(p, Imp_D(p))}, combined by summation straight into
+// the target shard — the same dataflow as the paper's SCOPE job, with the
+// reduce output adopted as the index shards with no final rehash.
 func Build(cols []*corpus.Column, opt BuildOptions) *Index {
-	agg := mapreduce.Run(mapreduce.Config{Workers: opt.Workers, Progress: opt.Progress}, cols,
-		func(col *corpus.Column, emit func(string, partial)) {
+	nshards := opt.Shards
+	if nshards <= 0 {
+		nshards = DefaultShards()
+	}
+	shards := mapreduce.RunSharded(
+		mapreduce.Config{Workers: opt.Workers, Progress: opt.Progress},
+		nshards, cols,
+		func(col *corpus.Column, emit func(string, Entry)) {
 			res := pattern.Enumerate(col.Values, opt.Enum)
 			if res.Total > 0 && res.Wide == res.Total {
-				emit(wideSentinel, partial{wide: 1})
+				emit(wideSentinel, Entry{Cov: 1})
 				return
 			}
 			for _, c := range res.Candidates {
 				imp := float64(res.Total-c.Matched) / float64(res.Total)
-				emit(c.Pattern.Key(), partial{
-					sumImp: imp,
-					cov:    1,
-					tokens: uint16(c.Pattern.TokenCount()),
+				emit(c.Pattern.Key(), Entry{
+					SumImp: imp,
+					Cov:    1,
+					Tokens: uint16(c.Pattern.TokenCount()),
 				})
 			}
 		},
-		func(a, b partial) partial {
-			a.sumImp += b.sumImp
-			a.cov += b.cov
-			a.wide += b.wide
+		func(a, b Entry) Entry {
+			a.SumImp += b.SumImp
+			a.Cov += b.Cov
 			return a
-		})
+		},
+		func(key string) int { return shardOf(key, nshards) })
 
 	idx := &Index{
-		Entries: make(map[string]Entry, len(agg)),
+		shards:  shards,
 		Enum:    opt.Enum,
 		Columns: len(cols),
 	}
-	for k, p := range agg {
-		if k == wideSentinel {
-			idx.SkippedWide = int(p.wide)
-			continue
-		}
-		idx.Entries[k] = Entry{SumImp: p.sumImp, Cov: p.cov, Tokens: p.tokens}
+	if e, ok := idx.Lookup(wideSentinel); ok {
+		idx.SkippedWide = int(e.Cov)
+		idx.delete(wideSentinel)
 	}
 	return idx
 }
 
 // Lookup returns the evidence for a pattern key.
 func (idx *Index) Lookup(key string) (Entry, bool) {
-	e, ok := idx.Entries[key]
+	e, ok := idx.shards[shardOf(key, len(idx.shards))][key]
 	return e, ok
 }
 
@@ -135,12 +231,18 @@ func (idx *Index) LookupPattern(p pattern.Pattern) (Entry, bool) {
 }
 
 // Size returns the number of distinct indexed patterns.
-func (idx *Index) Size() int { return len(idx.Entries) }
+func (idx *Index) Size() int {
+	n := 0
+	for _, shard := range idx.shards {
+		n += len(shard)
+	}
+	return n
+}
 
 // String summarizes the index.
 func (idx *Index) String() string {
-	return fmt.Sprintf("index{patterns=%d columns=%d skipped_wide=%d tau=%d}",
-		len(idx.Entries), idx.Columns, idx.SkippedWide, idx.Enum.MaxTokens)
+	return fmt.Sprintf("index{patterns=%d columns=%d skipped_wide=%d tau=%d shards=%d}",
+		idx.Size(), idx.Columns, idx.SkippedWide, idx.Enum.MaxTokens, len(idx.shards))
 }
 
 // HeadPattern is one "common domain" pattern from the head of the index.
@@ -154,7 +256,7 @@ type HeadPattern struct {
 // patterns" analysis that surfaces the common domains of the lake.
 func (idx *Index) Head(minCov uint32, maxFPR float64) []HeadPattern {
 	var out []HeadPattern
-	for k, e := range idx.Entries {
+	for k, e := range idx.All() {
 		if e.Cov >= minCov && e.FPR() <= maxFPR {
 			out = append(out, HeadPattern{Key: k, Entry: e})
 		}

@@ -61,8 +61,8 @@ func TestBuildSerialEqualsParallel(t *testing.T) {
 	if a.Size() != b.Size() {
 		t.Fatalf("serial %d patterns, parallel %d", a.Size(), b.Size())
 	}
-	for k, ea := range a.Entries {
-		eb, ok := b.Entries[k]
+	for k, ea := range a.All() {
+		eb, ok := b.Lookup(k)
 		if !ok || !close(ea.SumImp, eb.SumImp) || ea.Cov != eb.Cov {
 			t.Errorf("entry %q differs: %+v vs %+v (ok=%v)", k, ea, eb, ok)
 		}
@@ -109,8 +109,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got.Size() != idx.Size() || got.Columns != idx.Columns {
 		t.Fatalf("round trip size %d/%d, want %d/%d", got.Size(), got.Columns, idx.Size(), idx.Columns)
 	}
-	for k, e := range idx.Entries {
-		ge, ok := got.Entries[k]
+	for k, e := range idx.All() {
+		ge, ok := got.Lookup(k)
 		if !ok || ge != e {
 			t.Errorf("entry %q: got %+v want %+v", k, ge, e)
 		}

@@ -2,18 +2,34 @@ package index
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
+	"sync"
 
 	"autovalidate/internal/pattern"
 )
 
-// indexFile is the on-disk representation. The map is flattened into
-// parallel slices, which gob encodes far more compactly than a map of
-// structs — the paper's point that a terabyte corpus distills to an index
-// under a gigabyte depends on a dense encoding.
-type indexFile struct {
+// The on-disk layouts. Version 1 is a single gob blob of the whole index
+// with the map flattened into parallel slices (gob encodes that far more
+// compactly than a map of structs — the paper's point that a terabyte
+// corpus distills to an index under a gigabyte depends on a dense
+// encoding). Version 2 keeps the dense slice encoding but writes one
+// length-prefixed, checksummed section per shard after a fixed header:
+//
+//	magic "AVIDX2\n" | uint32 header length | header gob
+//	per shard: uint32 payload length | uint32 CRC-32C | payload gob
+//
+// so shards decode in parallel on load and truncation or bit rot is
+// detected per section instead of panicking mid-decode.
+
+// indexFileV1 is the whole-index v1 blob.
+type indexFileV1 struct {
 	Version     int
 	Keys        []string
 	SumImp      []float64
@@ -24,67 +40,301 @@ type indexFile struct {
 	SkippedWide int
 }
 
-const fileVersion = 1
+// headerV2 is the v2 header section.
+type headerV2 struct {
+	NumShards   int
+	Enum        pattern.EnumOptions
+	Columns     int
+	SkippedWide int
+}
 
-// Save writes the index to path.
-func (idx *Index) Save(path string) error {
-	f, err := os.Create(path)
+// shardFileV2 is one shard's payload section.
+type shardFileV2 struct {
+	Keys   []string
+	SumImp []float64
+	Cov    []uint32
+	Tokens []uint16
+}
+
+const fileVersionV1 = 1
+
+var magicV2 = []byte("AVIDX2\n")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeAtomic writes a file via a temp sibling and rename, so a failed
+// or interrupted save never truncates an existing good index.
+func writeAtomic(path string, write func(w *bufio.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("index: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	file := indexFile{
-		Version:     fileVersion,
-		Keys:        make([]string, 0, len(idx.Entries)),
-		SumImp:      make([]float64, 0, len(idx.Entries)),
-		Cov:         make([]uint32, 0, len(idx.Entries)),
-		Tokens:      make([]uint16, 0, len(idx.Entries)),
-		Enum:        idx.Enum,
-		Columns:     idx.Columns,
-		SkippedWide: idx.SkippedWide,
+	w := bufio.NewWriter(tmp)
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
 	}
-	for k, e := range idx.Entries {
-		file.Keys = append(file.Keys, k)
-		file.SumImp = append(file.SumImp, e.SumImp)
-		file.Cov = append(file.Cov, e.Cov)
-		file.Tokens = append(file.Tokens, e.Tokens)
-	}
-	if err := gob.NewEncoder(w).Encode(&file); err != nil {
-		f.Close()
-		return fmt.Errorf("index: encoding %s: %w", path, err)
+	if err := write(w); err != nil {
+		return fail(err)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		return fail(fmt.Errorf("index: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("index: %w", err)
 	}
-	if err := f.Close(); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("index: %w", err)
 	}
 	return nil
 }
 
-// Load reads an index previously written by Save.
+// Save writes the index to path in the current (v2) sharded format.
+// Shard payloads are gob-encoded in parallel and written sequentially.
+func (idx *Index) Save(path string) error {
+	return writeAtomic(path, func(w *bufio.Writer) error { return idx.encodeV2(w, path) })
+}
+
+func (idx *Index) encodeV2(w *bufio.Writer, path string) error {
+	fail := func(err error) error {
+		return fmt.Errorf("index: encoding %s: %w", path, err)
+	}
+	if _, err := w.Write(magicV2); err != nil {
+		return fail(err)
+	}
+	var head bytes.Buffer
+	if err := gob.NewEncoder(&head).Encode(headerV2{
+		NumShards:   len(idx.shards),
+		Enum:        idx.Enum,
+		Columns:     idx.Columns,
+		SkippedWide: idx.SkippedWide,
+	}); err != nil {
+		return fail(err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(head.Len())); err != nil {
+		return fail(err)
+	}
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return fail(err)
+	}
+
+	payloads := make([][]byte, len(idx.shards))
+	errs := make([]error, len(idx.shards))
+	var wg sync.WaitGroup
+	for s, shard := range idx.shards {
+		wg.Add(1)
+		go func(s int, shard map[string]Entry) {
+			defer wg.Done()
+			sf := shardFileV2{
+				Keys:   make([]string, 0, len(shard)),
+				SumImp: make([]float64, 0, len(shard)),
+				Cov:    make([]uint32, 0, len(shard)),
+				Tokens: make([]uint16, 0, len(shard)),
+			}
+			for k, e := range shard {
+				sf.Keys = append(sf.Keys, k)
+				sf.SumImp = append(sf.SumImp, e.SumImp)
+				sf.Cov = append(sf.Cov, e.Cov)
+				sf.Tokens = append(sf.Tokens, e.Tokens)
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&sf); err != nil {
+				errs[s] = err
+				return
+			}
+			payloads[s] = buf.Bytes()
+		}(s, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+	for _, payload := range payloads {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
+			return fail(err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, crc32.Checksum(payload, castagnoli)); err != nil {
+			return fail(err)
+		}
+		if _, err := w.Write(payload); err != nil {
+			return fail(err)
+		}
+	}
+	return nil
+}
+
+// SaveV1 writes the index in the legacy single-blob v1 format, kept for
+// compatibility with older readers and as the flat baseline in the
+// persistence benchmarks.
+func (idx *Index) SaveV1(path string) error {
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		n := idx.Size()
+		file := indexFileV1{
+			Version:     fileVersionV1,
+			Keys:        make([]string, 0, n),
+			SumImp:      make([]float64, 0, n),
+			Cov:         make([]uint32, 0, n),
+			Tokens:      make([]uint16, 0, n),
+			Enum:        idx.Enum,
+			Columns:     idx.Columns,
+			SkippedWide: idx.SkippedWide,
+		}
+		for k, e := range idx.All() {
+			file.Keys = append(file.Keys, k)
+			file.SumImp = append(file.SumImp, e.SumImp)
+			file.Cov = append(file.Cov, e.Cov)
+			file.Tokens = append(file.Tokens, e.Tokens)
+		}
+		if err := gob.NewEncoder(w).Encode(&file); err != nil {
+			return fmt.Errorf("index: encoding %s: %w", path, err)
+		}
+		return nil
+	})
+}
+
+// Load reads an index previously written by Save (v2) or SaveV1,
+// dispatching on the leading magic bytes.
 func Load(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	defer f.Close()
-	var file indexFile
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&file); err != nil {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	r := bufio.NewReader(f)
+	head, err := r.Peek(len(magicV2))
+	if err == nil && bytes.Equal(head, magicV2) {
+		return loadV2(path, r, fi.Size())
+	}
+	return loadV1(path, r)
+}
+
+// checkLengths validates that the parallel evidence slices agree with the
+// key slice, the invariant a truncated or bit-flipped file breaks.
+func checkLengths(path string, keys []string, sumImp []float64, cov []uint32, tokens []uint16) error {
+	if len(sumImp) != len(keys) || len(cov) != len(keys) || len(tokens) != len(keys) {
+		return fmt.Errorf("index: %s is corrupt: %d keys but %d/%d/%d evidence values",
+			path, len(keys), len(sumImp), len(cov), len(tokens))
+	}
+	return nil
+}
+
+func loadV1(path string, r io.Reader) (*Index, error) {
+	var file indexFileV1
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return nil, fmt.Errorf("index: decoding %s: %w", path, err)
 	}
-	if file.Version != fileVersion {
-		return nil, fmt.Errorf("index: %s has version %d, want %d", path, file.Version, fileVersion)
+	if file.Version != fileVersionV1 {
+		return nil, fmt.Errorf("index: %s has version %d, want %d", path, file.Version, fileVersionV1)
 	}
-	idx := &Index{
-		Entries:     make(map[string]Entry, len(file.Keys)),
-		Enum:        file.Enum,
-		Columns:     file.Columns,
-		SkippedWide: file.SkippedWide,
+	if err := checkLengths(path, file.Keys, file.SumImp, file.Cov, file.Tokens); err != nil {
+		return nil, err
 	}
+	idx := New(DefaultShards())
+	idx.Enum = file.Enum
+	idx.Columns = file.Columns
+	idx.SkippedWide = file.SkippedWide
 	for i, k := range file.Keys {
-		idx.Entries[k] = Entry{SumImp: file.SumImp[i], Cov: file.Cov[i], Tokens: file.Tokens[i]}
+		idx.put(k, Entry{SumImp: file.SumImp[i], Cov: file.Cov[i], Tokens: file.Tokens[i]})
 	}
 	return idx, nil
+}
+
+func loadV2(path string, r io.Reader, fileSize int64) (*Index, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("index: %s is corrupt: %s", path, fmt.Sprintf(format, args...))
+	}
+	// A section can be no longer than the file it came from; checking
+	// length prefixes against the real size keeps a corrupt prefix
+	// from driving a gigabyte allocation before the CRC ever runs.
+	maxSection := fileSize
+	if _, err := io.ReadFull(r, make([]byte, len(magicV2))); err != nil {
+		return nil, corrupt("short magic: %v", err)
+	}
+	var headLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &headLen); err != nil {
+		return nil, corrupt("missing header length: %v", err)
+	}
+	if headLen == 0 || int64(headLen) > maxSection {
+		return nil, corrupt("implausible header length %d", headLen)
+	}
+	headBuf := make([]byte, headLen)
+	if _, err := io.ReadFull(r, headBuf); err != nil {
+		return nil, corrupt("truncated header: %v", err)
+	}
+	var head headerV2
+	if err := gob.NewDecoder(bytes.NewReader(headBuf)).Decode(&head); err != nil {
+		return nil, corrupt("undecodable header: %v", err)
+	}
+	if head.NumShards < 1 || head.NumShards > 1<<16 {
+		return nil, corrupt("implausible shard count %d", head.NumShards)
+	}
+
+	// Sections are read sequentially (lengths gate the reads) and
+	// decoded in parallel; each decoded shard is adopted directly as an
+	// in-memory shard, so no rehash happens on the load path.
+	type section struct {
+		s       int
+		payload []byte
+	}
+	shards := make([]map[string]Entry, head.NumShards)
+	errs := make([]error, head.NumShards)
+	var wg sync.WaitGroup
+	for s := 0; s < head.NumShards; s++ {
+		var payloadLen, sum uint32
+		if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
+			return nil, corrupt("truncated at shard %d length: %v", s, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+			return nil, corrupt("truncated at shard %d checksum: %v", s, err)
+		}
+		if int64(payloadLen) > maxSection {
+			return nil, corrupt("implausible shard %d length %d", s, payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, corrupt("truncated shard %d: %v", s, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != sum {
+			return nil, corrupt("shard %d checksum mismatch (%08x != %08x)", s, got, sum)
+		}
+		wg.Add(1)
+		go func(sec section) {
+			defer wg.Done()
+			var sf shardFileV2
+			if err := gob.NewDecoder(bytes.NewReader(sec.payload)).Decode(&sf); err != nil {
+				errs[sec.s] = corrupt("undecodable shard %d: %v", sec.s, err)
+				return
+			}
+			if err := checkLengths(path, sf.Keys, sf.SumImp, sf.Cov, sf.Tokens); err != nil {
+				errs[sec.s] = err
+				return
+			}
+			shard := make(map[string]Entry, len(sf.Keys))
+			for i, k := range sf.Keys {
+				shard[k] = Entry{SumImp: sf.SumImp[i], Cov: sf.Cov[i], Tokens: sf.Tokens[i]}
+			}
+			shards[sec.s] = shard
+		}(section{s: s, payload: payload})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Index{
+		shards:      shards,
+		Enum:        head.Enum,
+		Columns:     head.Columns,
+		SkippedWide: head.SkippedWide,
+	}, nil
 }

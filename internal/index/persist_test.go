@@ -1,0 +1,268 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autovalidate/internal/datagen"
+)
+
+// buildFixture builds a realistic index with the given shard count.
+func buildFixture(t *testing.T, shards int) *Index {
+	t.Helper()
+	c := datagen.Generate(datagen.Enterprise(20, 7))
+	opt := DefaultBuildOptions()
+	opt.Shards = shards
+	idx := Build(c.Columns(), opt)
+	if idx.Size() == 0 {
+		t.Fatal("empty fixture index")
+	}
+	return idx
+}
+
+// sameEntries asserts a and b index the identical evidence.
+func sameEntries(t *testing.T, a, b *Index) {
+	t.Helper()
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for k, ea := range a.All() {
+		eb, ok := b.Lookup(k)
+		if !ok || ea != eb {
+			t.Fatalf("entry %q: %+v vs %+v (ok=%v)", k, ea, eb, ok)
+		}
+	}
+	if a.Columns != b.Columns || a.SkippedWide != b.SkippedWide ||
+		a.Enum.MaxTokens != b.Enum.MaxTokens {
+		t.Fatalf("metadata differs: %s vs %s", a, b)
+	}
+}
+
+// TestV2RoundTripAcrossShardCounts saves with one shard count and loads
+// into whatever the file says, then reshards to a different count —
+// evidence and lookups must be identical throughout, including the
+// single-shard (flat) and larger-than-corpus extremes.
+func TestV2RoundTripAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	for _, saveShards := range []int{1, 3, 8, 64} {
+		idx := buildFixture(t, saveShards)
+		path := filepath.Join(dir, "idx")
+		if err := idx.Save(path); err != nil {
+			t.Fatalf("shards=%d: save: %v", saveShards, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("shards=%d: load: %v", saveShards, err)
+		}
+		if got.NumShards() != saveShards {
+			t.Errorf("loaded %d shards, file written with %d", got.NumShards(), saveShards)
+		}
+		sameEntries(t, idx, got)
+		// A serving layer may want a different shard count than the
+		// writer used.
+		for _, reshards := range []int{1, 5, 32} {
+			got.Reshard(reshards)
+			if got.NumShards() != reshards {
+				t.Fatalf("Reshard(%d) left %d shards", reshards, got.NumShards())
+			}
+			sameEntries(t, idx, got)
+		}
+	}
+}
+
+// TestV1RoundTrip keeps the legacy format readable: SaveV1 output loads
+// through the same Load entry point.
+func TestV1RoundTrip(t *testing.T) {
+	idx := buildFixture(t, 4)
+	path := filepath.Join(t.TempDir(), "v1.idx")
+	if err := idx.SaveV1(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEntries(t, idx, got)
+}
+
+// TestBuildEmptyColumnSet checks the degenerate build: no columns still
+// yields a working, saveable, loadable index.
+func TestBuildEmptyColumnSet(t *testing.T) {
+	idx := Build(nil, DefaultBuildOptions())
+	if idx.Size() != 0 || idx.Columns != 0 || idx.SkippedWide != 0 {
+		t.Fatalf("empty build produced %s", idx)
+	}
+	if _, ok := idx.Lookup("<digit>+"); ok {
+		t.Error("lookup in empty index should miss")
+	}
+	path := filepath.Join(t.TempDir(), "empty.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 {
+		t.Errorf("reloaded empty index has %d entries", got.Size())
+	}
+}
+
+// TestLoadTruncatedV2 truncates a valid v2 file at every interesting
+// boundary; each prefix must produce an error, never a panic.
+func TestLoadTruncatedV2(t *testing.T) {
+	idx := buildFixture(t, 4)
+	path := filepath.Join(t.TempDir(), "full.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 3, len(magicV2), len(magicV2) + 2, len(magicV2) + 20,
+		len(data) / 2, len(data) - 1}
+	for _, cut := range cuts {
+		if cut >= len(data) {
+			continue
+		}
+		p := filepath.Join(t.TempDir(), "trunc.idx")
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("loading %d/%d-byte prefix should error", cut, len(data))
+		}
+	}
+}
+
+// TestLoadCorruptV2Checksum flips one payload byte; the per-shard CRC
+// must reject the file.
+func TestLoadCorruptV2Checksum(t *testing.T) {
+	idx := buildFixture(t, 4)
+	path := filepath.Join(t.TempDir(), "crc.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("flipped payload byte should fail the checksum")
+	}
+}
+
+// TestLoadCorruptV1MismatchedSlices writes a v1 blob whose evidence
+// slices are shorter than its key slice — the case that used to panic
+// with index-out-of-range — and requires a clean error.
+func TestLoadCorruptV1MismatchedSlices(t *testing.T) {
+	file := indexFileV1{
+		Version: fileVersionV1,
+		Keys:    []string{"<digit>+", "<letter>{2}", "<alnum>+"},
+		SumImp:  []float64{0.5}, // truncated
+		Cov:     []uint32{1, 2, 3},
+		Tokens:  []uint16{1, 1, 1},
+		Columns: 3,
+	}
+	path := filepath.Join(t.TempDir(), "bad-v1.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(&file); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(path); err == nil {
+		t.Fatal("mismatched v1 slices must return an error, not panic")
+	}
+}
+
+// TestLoadOversizedLengthPrefix patches v2 length prefixes to values far
+// larger than the file; the loader must reject them by comparing against
+// the real file size instead of allocating gigabytes.
+func TestLoadOversizedLengthPrefix(t *testing.T) {
+	idx := buildFixture(t, 4)
+	path := filepath.Join(t.TempDir(), "len.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headLen := binary.LittleEndian.Uint32(data[len(magicV2):])
+
+	patch := func(name string, offset int) {
+		bad := append([]byte{}, data...)
+		binary.LittleEndian.PutUint32(bad[offset:], 0x7fffff00)
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: oversized length prefix at %d should error", name, offset)
+		}
+	}
+	patch("header.idx", len(magicV2))               // header length
+	patch("shard.idx", len(magicV2)+4+int(headLen)) // first shard length
+}
+
+// TestSaveIsAtomic checks that saving over an existing index goes
+// through a temp file: repeated overwrites stay loadable and no temp
+// siblings are left behind.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "atomic.idx")
+	idx := buildFixture(t, 4)
+	for i := 0; i < 2; i++ {
+		if err := idx.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEntries(t, idx, got)
+	// A save into an unwritable location must leave the good file as-is.
+	if err := idx.Save(filepath.Join(dir, "no-such-dir", "x.idx")); err == nil {
+		t.Error("save into a missing directory should error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "atomic.idx" {
+			t.Errorf("leftover file %q after saves", e.Name())
+		}
+	}
+	if _, err := Load(path); err != nil {
+		t.Errorf("original index damaged by failed save: %v", err)
+	}
+}
+
+// TestLoadGarbage checks that a file that is neither format errors out.
+func TestLoadGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.idx")
+	if err := os.WriteFile(path, []byte("this is not an index at all, not even close"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("garbage file should error")
+	}
+}

@@ -21,7 +21,7 @@ func TestIndexInvariants(t *testing.T) {
 		t.Fatal("empty index")
 	}
 	checked := 0
-	for key, e := range idx.Entries {
+	for key, e := range idx.All() {
 		if fpr := e.FPR(); fpr < 0 || fpr > 1 {
 			t.Fatalf("entry %q has FPR %v outside [0,1]", key, fpr)
 		}
@@ -91,8 +91,8 @@ func TestIndexBuildDeterministic(t *testing.T) {
 	if a.Size() != b.Size() {
 		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
 	}
-	for k, ea := range a.Entries {
-		eb, ok := b.Entries[k]
+	for k, ea := range a.All() {
+		eb, ok := b.Lookup(k)
 		if !ok || ea.Cov != eb.Cov || ea.Tokens != eb.Tokens {
 			t.Fatalf("entry %q differs across rebuilds: %+v vs %+v", k, ea, eb)
 		}
@@ -118,7 +118,7 @@ func TestDirtyColumnsContributeImpurity(t *testing.T) {
 	}
 	idx := Build(c.Columns(), DefaultBuildOptions())
 	impure := 0
-	for _, e := range idx.Entries {
+	for _, e := range idx.All() {
 		if e.SumImp > 0 {
 			impure++
 		}

@@ -8,6 +8,7 @@ package mapreduce
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Config controls a job run.
@@ -15,8 +16,9 @@ type Config struct {
 	// Workers is the mapper parallelism; 0 means GOMAXPROCS.
 	Workers int
 	// Progress, if non-nil, is called after each item is mapped with
-	// the number of items completed so far. It must be fast; it is
-	// invoked under a mutex.
+	// the number of items completed so far. It must be fast and safe
+	// for concurrent use: workers invoke it directly, without any
+	// lock, so cheap items do not serialize on a progress mutex.
 	Progress func(done, total int)
 }
 
@@ -30,86 +32,116 @@ func (c Config) workers() int {
 // Run executes a map/combine/reduce job over items. The mapper emits
 // (key, value) pairs via the emit callback; values for equal keys are
 // merged with the associative combiner. Each worker combines into a local
-// shard first (the "combiner" of classic Map-Reduce), and shards are
-// reduced pairwise at the end, so combiner must be commutative and
-// associative.
+// shard first (the "combiner" of classic Map-Reduce), and locals are
+// reduced at the end, so combiner must be commutative and associative.
 func Run[T any, V any](cfg Config, items []T, mapper func(item T, emit func(key string, val V)), combiner func(a, b V) V) map[string]V {
+	return RunSharded(cfg, 1, items, mapper, combiner, func(string) int { return 0 })[0]
+}
+
+// RunSharded is Run with a partitioned output: the key space is split by
+// the shard function into nshards independent maps. Each worker combines
+// emitted pairs straight into a worker-local map for the key's target
+// shard, so the final reduce merges only same-shard locals — one
+// goroutine per shard, lock-free, with no cross-shard rehash. The
+// returned slice has exactly nshards maps (some possibly empty); shard
+// must return a stable value in [0, nshards) for every key.
+func RunSharded[T any, V any](cfg Config, nshards int, items []T, mapper func(item T, emit func(key string, val V)), combiner func(a, b V) V, shard func(key string) int) []map[string]V {
+	if nshards < 1 {
+		nshards = 1
+	}
 	nw := cfg.workers()
 	if nw > len(items) {
 		nw = len(items)
 	}
 	if nw <= 1 {
-		return runSerial(cfg, items, mapper, combiner)
+		return runShardedSerial(cfg, nshards, items, mapper, combiner, shard)
 	}
 
-	shards := make([]map[string]V, nw)
-	var next int
-	var mu sync.Mutex
-	var done int
+	locals := make([][]map[string]V, nw) // worker → shard → combined pairs
+	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := make(map[string]V)
+			local := make([]map[string]V, nshards)
 			emit := func(key string, val V) {
-				if old, ok := local[key]; ok {
-					local[key] = combiner(old, val)
+				s := shard(key)
+				m := local[s]
+				if m == nil {
+					m = make(map[string]V)
+					local[s] = m
+				}
+				if old, ok := m[key]; ok {
+					m[key] = combiner(old, val)
 				} else {
-					local[key] = val
+					m[key] = val
 				}
 			}
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					break
 				}
 				mapper(items[i], emit)
 				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					cfg.Progress(done, len(items))
-					mu.Unlock()
+					cfg.Progress(int(done.Add(1)), len(items))
 				}
 			}
-			shards[w] = local
+			locals[w] = local
 		}(w)
 	}
 	wg.Wait()
 
-	// Reduce all shards into the largest one (fewest rehash moves).
-	best := 0
-	for i, s := range shards {
-		if len(s) > len(shards[best]) {
-			best = i
-		}
-	}
-	out := shards[best]
-	for i, s := range shards {
-		if i == best {
-			continue
-		}
-		for k, v := range s {
-			if old, ok := out[k]; ok {
-				out[k] = combiner(old, v)
-			} else {
-				out[k] = v
+	// Per-shard reduce: every worker's map for shard s merges into the
+	// largest of them (fewest rehash moves), one goroutine per shard.
+	out := make([]map[string]V, nshards)
+	var sg sync.WaitGroup
+	for s := 0; s < nshards; s++ {
+		sg.Add(1)
+		go func(s int) {
+			defer sg.Done()
+			best := -1
+			for w := range locals {
+				if locals[w][s] != nil && (best < 0 || len(locals[w][s]) > len(locals[best][s])) {
+					best = w
+				}
 			}
-		}
+			if best < 0 {
+				out[s] = make(map[string]V)
+				return
+			}
+			merged := locals[best][s]
+			for w := range locals {
+				if w == best || locals[w][s] == nil {
+					continue
+				}
+				for k, v := range locals[w][s] {
+					if old, ok := merged[k]; ok {
+						merged[k] = combiner(old, v)
+					} else {
+						merged[k] = v
+					}
+				}
+			}
+			out[s] = merged
+		}(s)
 	}
+	sg.Wait()
 	return out
 }
 
-func runSerial[T any, V any](cfg Config, items []T, mapper func(item T, emit func(key string, val V)), combiner func(a, b V) V) map[string]V {
-	out := make(map[string]V)
+func runShardedSerial[T any, V any](cfg Config, nshards int, items []T, mapper func(item T, emit func(key string, val V)), combiner func(a, b V) V, shard func(key string) int) []map[string]V {
+	out := make([]map[string]V, nshards)
+	for s := range out {
+		out[s] = make(map[string]V)
+	}
 	emit := func(key string, val V) {
-		if old, ok := out[key]; ok {
-			out[key] = combiner(old, val)
+		m := out[shard(key)]
+		if old, ok := m[key]; ok {
+			m[key] = combiner(old, val)
 		} else {
-			out[key] = val
+			m[key] = val
 		}
 	}
 	for i, it := range items {
@@ -139,27 +171,20 @@ func Map[T any, R any](cfg Config, items []T, fn func(item T) R) []R {
 		}
 		return out
 	}
-	var next, done int
-	var mu sync.Mutex
+	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
 				out[i] = fn(items[i])
 				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					cfg.Progress(done, len(items))
-					mu.Unlock()
+					cfg.Progress(int(done.Add(1)), len(items))
 				}
 			}
 		}()

@@ -90,15 +90,99 @@ func TestMapPreservesOrder(t *testing.T) {
 }
 
 func TestMapProgress(t *testing.T) {
-	var last atomic.Int64
+	// Progress is invoked concurrently (no lock), so observations may
+	// arrive out of order; every count in 1..100 must appear exactly
+	// once and the maximum must reach the total.
+	var calls, max atomic.Int64
 	Map(Config{Workers: 4, Progress: func(done, total int) {
 		if total != 100 {
 			t.Errorf("total = %d, want 100", total)
 		}
-		last.Store(int64(done))
+		calls.Add(1)
+		for {
+			m := max.Load()
+			if int64(done) <= m || max.CompareAndSwap(m, int64(done)) {
+				break
+			}
+		}
 	}}, make([]int, 100), func(x int) int { return x })
-	if last.Load() != 100 {
-		t.Errorf("final progress %d, want 100", last.Load())
+	if calls.Load() != 100 {
+		t.Errorf("progress called %d times, want 100", calls.Load())
+	}
+	if max.Load() != 100 {
+		t.Errorf("max progress %d, want 100", max.Load())
+	}
+}
+
+func TestRunShardedMatchesRun(t *testing.T) {
+	items := make([]int, 300)
+	for i := range items {
+		items[i] = i
+	}
+	mapper := func(x int, emit func(string, int)) {
+		emit(fmt.Sprintf("k%d", x%23), x)
+		emit("all", 1)
+	}
+	sum := func(a, b int) int { return a + b }
+	shard := func(key string) int { return len(key) % 4 }
+	flat := Run(Config{Workers: 1}, items, mapper, sum)
+	for _, workers := range []int{1, 8} {
+		shards := RunSharded(Config{Workers: workers}, 4, items, mapper, sum, shard)
+		if len(shards) != 4 {
+			t.Fatalf("workers=%d: got %d shards, want 4", workers, len(shards))
+		}
+		total := 0
+		for s, m := range shards {
+			for k, v := range m {
+				if shard(k) != s {
+					t.Errorf("workers=%d: key %q landed in shard %d, want %d", workers, k, s, shard(k))
+				}
+				if flat[k] != v {
+					t.Errorf("workers=%d: key %q = %d, want %d", workers, k, v, flat[k])
+				}
+				total++
+			}
+		}
+		if total != len(flat) {
+			t.Errorf("workers=%d: %d keys across shards, want %d", workers, total, len(flat))
+		}
+	}
+}
+
+func TestRunShardedEmptyAndClamped(t *testing.T) {
+	shards := RunSharded(Config{Workers: 4}, 3, nil,
+		func(int, func(string, int)) {}, func(a, b int) int { return a + b },
+		func(string) int { return 0 })
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	for s, m := range shards {
+		if m == nil || len(m) != 0 {
+			t.Errorf("shard %d should be empty non-nil, got %v", s, m)
+		}
+	}
+	// nshards < 1 clamps to a single shard rather than panicking.
+	one := RunSharded(Config{}, 0, []int{1, 2}, func(x int, emit func(string, int)) {
+		emit("n", x)
+	}, func(a, b int) int { return a + b }, func(string) int { return 0 })
+	if len(one) != 1 || one[0]["n"] != 3 {
+		t.Errorf("clamped run got %v", one)
+	}
+}
+
+func TestRunProgressCountsEveryItem(t *testing.T) {
+	items := make([]int, 400)
+	var calls atomic.Int64
+	Run(Config{Workers: 8, Progress: func(done, total int) {
+		if done < 1 || done > 400 || total != 400 {
+			t.Errorf("progress (%d, %d) out of range", done, total)
+		}
+		calls.Add(1)
+	}}, items, func(x int, emit func(string, int)) {
+		emit("n", 1)
+	}, func(a, b int) int { return a + b })
+	if calls.Load() != 400 {
+		t.Errorf("progress called %d times, want 400", calls.Load())
 	}
 }
 

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"container/list"
+
+	"autovalidate/internal/validate"
+)
+
+// ruleLRU is a fixed-capacity least-recently-used cache of inferred
+// rules keyed by column fingerprint. It is not safe for concurrent use;
+// the server serializes access.
+type ruleLRU struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	rule *validate.Rule
+}
+
+func newRuleLRU(capacity int) *ruleLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ruleLRU{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached rule and refreshes its recency.
+func (c *ruleLRU) get(key string) (*validate.Rule, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).rule, true
+}
+
+// add inserts or refreshes a rule, evicting the least recently used
+// entry when over capacity.
+func (c *ruleLRU) add(key string, rule *validate.Rule) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).rule = rule
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, rule: rule})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *ruleLRU) len() int { return c.order.Len() }

@@ -1,0 +1,363 @@
+// Package service exposes Auto-Validate's online half as a long-running
+// HTTP service: the offline index is loaded once at startup, inference
+// (/infer) and batch validation (/validate) are request/response, and an
+// LRU cache of inferred rules keyed by column fingerprint lets recurring
+// pipelines skip FMDV entirely after their first run — the paper's O(1)
+// online story (§2.4) behind a serving layer.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/index"
+	"autovalidate/internal/validate"
+)
+
+// Config configures a server.
+type Config struct {
+	// Index is the loaded offline index. Required.
+	Index *index.Index
+	// Options are the inference defaults; nil means the paper's
+	// defaults with τ taken from the index. Per-request parameters
+	// override them.
+	Options *core.Options
+	// CacheSize is the rule-cache capacity in entries (0 = 1024).
+	CacheSize int
+}
+
+// Server is a long-running validation service over one offline index.
+// All methods are safe for concurrent use.
+type Server struct {
+	idx *index.Index
+	opt core.Options
+
+	mu    sync.Mutex
+	cache *ruleLRU
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	start  time.Time
+}
+
+// New builds a server from a loaded index.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("service: nil index")
+	}
+	opt := core.DefaultOptions()
+	if cfg.Options != nil {
+		opt = *cfg.Options
+	} else if cfg.Index.Enum.MaxTokens > 0 {
+		opt.Tau = cfg.Index.Enum.MaxTokens
+	}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = 1024
+	}
+	return &Server{
+		idx:   cfg.Index,
+		opt:   opt,
+		cache: newRuleLRU(size),
+		start: time.Now(),
+	}, nil
+}
+
+// maxBody caps request bodies; a validation batch of a million short
+// values fits comfortably.
+const maxBody = 64 << 20
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", s.handleInfer)
+	mux.HandleFunc("POST /validate", s.handleValidate)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// RuleParams are the per-request inference overrides shared by /infer
+// and /validate. Pointer fields distinguish "absent" from zero.
+type RuleParams struct {
+	// Strategy is an FMDV variant name ("FMDV", "FMDV-V", "FMDV-H",
+	// "FMDV-VH"); empty keeps the server default.
+	Strategy string   `json:"strategy,omitempty"`
+	R        *float64 `json:"r,omitempty"`
+	M        *int     `json:"m,omitempty"`
+	Theta    *float64 `json:"theta,omitempty"`
+}
+
+// InferRequest asks for a validation rule over a training column.
+type InferRequest struct {
+	// Values is the training column (today's feed).
+	Values []string `json:"values"`
+	RuleParams
+}
+
+// InferResponse carries the learned rule and its cache identity.
+type InferResponse struct {
+	// Fingerprint identifies (values, effective parameters); pass it
+	// to /validate to reuse the rule without resending the column.
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports whether the rule was served from the LRU.
+	Cached bool           `json:"cached"`
+	Rule   *validate.Rule `json:"rule"`
+}
+
+// ValidateRequest checks a batch against a rule, identified by (in
+// precedence order) an inline rule, a fingerprint from a prior /infer,
+// or a training column to infer from (using the cache both ways).
+type ValidateRequest struct {
+	// Values is the batch to validate (tomorrow's feed).
+	Values []string `json:"values"`
+	// Rule is an inline pre-learned rule.
+	Rule *validate.Rule `json:"rule,omitempty"`
+	// Fingerprint references a cached rule.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Train is a training column to infer a rule from when no rule or
+	// fingerprint is given (or the fingerprint has been evicted).
+	Train []string `json:"train,omitempty"`
+	RuleParams
+}
+
+// ValidateResponse carries the drift report.
+type ValidateResponse struct {
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Cached      bool            `json:"cached"`
+	Report      validate.Report `json:"report"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// options resolves per-request overrides against the server defaults.
+func (s *Server) options(p RuleParams) (core.Options, error) {
+	opt := s.opt
+	switch p.Strategy {
+	case "":
+	case core.FMDV.String():
+		opt.Strategy = core.FMDV
+	case core.FMDVV.String():
+		opt.Strategy = core.FMDVV
+	case core.FMDVH.String():
+		opt.Strategy = core.FMDVH
+	case core.FMDVVH.String():
+		opt.Strategy = core.FMDVVH
+	default:
+		return opt, fmt.Errorf("unknown strategy %q", p.Strategy)
+	}
+	if p.R != nil {
+		opt.R = *p.R
+	}
+	if p.M != nil {
+		opt.M = *p.M
+	}
+	if p.Theta != nil {
+		opt.Theta = *p.Theta
+	}
+	return opt, nil
+}
+
+// Fingerprint hashes a training column together with the inference
+// parameters that shape the resulting rule. Repeated pipeline runs over
+// identical inputs hash identically, which is what makes the rule cache
+// sound: same fingerprint ⇒ same rule.
+func Fingerprint(values []string, opt core.Options) string {
+	h := sha256.New()
+	var scalar [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(scalar[:], v)
+		h.Write(scalar[:])
+	}
+	put(uint64(opt.Strategy))
+	put(uint64(opt.M))
+	put(uint64(opt.Tau))
+	put(math.Float64bits(opt.R))
+	put(math.Float64bits(opt.Theta))
+	put(uint64(len(values)))
+	for _, v := range values {
+		put(uint64(len(v)))
+		h.Write([]byte(v))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// inferCached returns the rule for a training column, from cache when
+// possible.
+func (s *Server) inferCached(values []string, opt core.Options) (fp string, rule *validate.Rule, cached bool, err error) {
+	fp = Fingerprint(values, opt)
+	s.mu.Lock()
+	rule, ok := s.cache.get(fp)
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return fp, rule, true, nil
+	}
+	s.misses.Add(1)
+	rule, err = core.Infer(values, s.idx, opt)
+	if err != nil {
+		return fp, nil, false, err
+	}
+	s.mu.Lock()
+	s.cache.add(fp, rule)
+	s.mu.Unlock()
+	return fp, rule, false, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, "values are required")
+		return
+	}
+	opt, err := s.options(req.RuleParams)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp, rule, cached, err := s.inferCached(req.Values, opt)
+	if err != nil {
+		writeError(w, inferStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, InferResponse{Fingerprint: fp, Cached: cached, Rule: rule})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req ValidateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, "values are required")
+		return
+	}
+
+	resp := ValidateResponse{}
+	rule := req.Rule
+	if rule == nil && req.Fingerprint != "" {
+		s.mu.Lock()
+		cached, ok := s.cache.get(req.Fingerprint)
+		s.mu.Unlock()
+		if ok {
+			s.hits.Add(1)
+			rule, resp.Fingerprint, resp.Cached = cached, req.Fingerprint, true
+		} else if len(req.Train) == 0 {
+			s.misses.Add(1)
+			writeError(w, http.StatusNotFound,
+				"unknown fingerprint (evicted or never inferred); resend with train values")
+			return
+		}
+	}
+	if rule == nil {
+		if len(req.Train) == 0 {
+			writeError(w, http.StatusBadRequest, "one of rule, fingerprint, or train is required")
+			return
+		}
+		opt, err := s.options(req.RuleParams)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		fp, inferred, cached, err := s.inferCached(req.Train, opt)
+		if err != nil {
+			writeError(w, inferStatus(err), err.Error())
+			return
+		}
+		rule, resp.Fingerprint, resp.Cached = inferred, fp, cached
+	}
+
+	report, err := rule.Validate(req.Values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp.Report = report
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"patterns": s.idx.Size(),
+		"columns":  s.idx.Columns,
+		"shards":   s.idx.NumShards(),
+		"tau":      s.idx.Enum.MaxTokens,
+	})
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	IndexPatterns int     `json:"index_patterns"`
+	IndexShards   int     `json:"index_shards"`
+	CacheSize     int     `json:"cache_size"`
+	CacheCapacity int     `json:"cache_capacity"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// CurrentStats snapshots the serving counters.
+func (s *Server) CurrentStats() Stats {
+	s.mu.Lock()
+	size := s.cache.len()
+	capacity := s.cache.cap
+	s.mu.Unlock()
+	return Stats{
+		IndexPatterns: s.idx.Size(),
+		IndexShards:   s.idx.NumShards(),
+		CacheSize:     size,
+		CacheCapacity: capacity,
+		CacheHits:     s.hits.Load(),
+		CacheMisses:   s.misses.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.CurrentStats())
+}
+
+// inferStatus maps inference failures to HTTP statuses: infeasible or
+// empty columns are well-formed requests the algorithm declines (422),
+// anything else is a server fault.
+func inferStatus(err error) int {
+	if errors.Is(err, core.ErrNoFeasible) || errors.Is(err, core.ErrEmptyColumn) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
