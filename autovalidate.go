@@ -7,7 +7,13 @@
 //
 //   - Offline, a corpus of lake columns is scanned once into an Index
 //     that pre-aggregates, for every candidate pattern, its estimated
-//     false-positive rate FPR_T and coverage Cov_T.
+//     false-positive rate FPR_T and coverage Cov_T. Unlike the paper's
+//     one-shot SCOPE job, the index is incrementally maintainable: newly
+//     arrived tables fold in as deltas (Index.IngestColumns, avindex
+//     -append, the service's POST /ingest), independently built indexes
+//     combine with MergeIndexes, and persisted deltas compact
+//     deterministically onto a base via generation counters — so a
+//     growing lake never forces a full re-scan.
 //
 //   - Online, Infer selects for a query column the pattern minimizing
 //     estimated FPR subject to FPR and coverage constraints (FMDV), with
@@ -53,6 +59,10 @@ type (
 	Index = index.Index
 	// IndexEntry is one pattern's pre-aggregated evidence.
 	IndexEntry = index.Entry
+	// IndexDelta is the evidence of one ingested batch of columns,
+	// chained to a base index generation; persist with SaveIndexDelta
+	// and fold into a base with Index.ApplyDelta or CompactIndex.
+	IndexDelta = index.Delta
 	// BuildOptions configure offline indexing.
 	BuildOptions = index.BuildOptions
 
@@ -93,6 +103,15 @@ type (
 	InferResponse    = service.InferResponse
 	ValidateRequest  = service.ValidateRequest
 	ValidateResponse = service.ValidateResponse
+	// IngestRequest / IngestResponse are the wire types of the
+	// service's POST /ingest endpoint, which folds newly arrived
+	// tables into the served index without a restart.
+	IngestRequest  = service.IngestRequest
+	IngestResponse = service.IngestResponse
+	// IngestTable / IngestColumn are the batch elements of an
+	// IngestRequest.
+	IngestTable  = service.IngestTable
+	IngestColumn = service.IngestColumn
 	// RuleParams are the per-request inference overrides.
 	RuleParams = service.RuleParams
 )
@@ -148,9 +167,48 @@ func BuildIndex(c *Corpus, opt BuildOptions) *Index {
 	return index.Build(c.Columns(), opt)
 }
 
-// LoadIndex reads an index written by Index.Save — either the current
-// sharded v2 format (shards load in parallel) or the legacy v1 blob.
+// LoadIndex reads an index written by Index.Save — the current sharded v3
+// format (shards load in parallel, generation counters preserved) or the
+// legacy v2/v1 layouts.
 func LoadIndex(path string) (*Index, error) { return index.Load(path) }
+
+// IngestCorpus folds a batch of newly arrived tables into an existing
+// index incrementally: only the new columns are scanned (same shard-aware
+// map-reduce dataflow as BuildIndex), their evidence merges shard-by-shard
+// into the existing aggregates, and the index's generation advances. The
+// returned delta can be persisted with SaveIndexDelta for replication or
+// later compaction. Enumeration options are taken from the index itself
+// so increments stay consistent with the original build.
+func IngestCorpus(idx *Index, c *Corpus, opt BuildOptions) *IndexDelta {
+	return idx.IngestColumns(c.Columns(), opt)
+}
+
+// BuildIndexDelta scans new columns into a delta against a base index
+// without mutating the base; apply it later with Index.ApplyDelta or
+// CompactIndex.
+func BuildIndexDelta(base *Index, cols []*Column, opt BuildOptions) *IndexDelta {
+	return index.BuildDelta(base, cols, opt)
+}
+
+// MergeIndexes combines two independently built indexes over disjoint
+// column sets into a new index equivalent to building over the union;
+// neither input is mutated.
+func MergeIndexes(a, b *Index) (*Index, error) { return index.Merge(a, b) }
+
+// CompactIndex applies a chain of deltas onto a base index in generation
+// order; an out-of-order or repeated delta is an error, reported before
+// anything is applied (the base is left untouched).
+func CompactIndex(base *Index, deltas ...*IndexDelta) error {
+	return index.Compact(base, deltas...)
+}
+
+// SaveIndexDelta / LoadIndexDelta persist one ingest batch's evidence in
+// the v3 sharded format, flagged so a delta file can never be mistaken
+// for a full index.
+func SaveIndexDelta(path string, d *IndexDelta) error { return index.SaveDelta(path, d) }
+
+// LoadIndexDelta reads a delta written by SaveIndexDelta.
+func LoadIndexDelta(path string) (*IndexDelta, error) { return index.LoadDelta(path) }
 
 // DefaultIndexShards returns the default index shard count for this
 // machine.

@@ -340,6 +340,28 @@ func BenchmarkIndexPersistV2(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if err := idx.SaveV2(path); err != nil {
+			b.Fatal(err)
+		}
+		got, err := autovalidate.LoadIndex(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Size() != idx.Size() {
+			b.Fatalf("size %d, want %d", got.Size(), idx.Size())
+		}
+	}
+}
+
+// BenchmarkIndexPersistV3 round-trips through the current v3 format —
+// v2's parallel sharded sections plus the generation counters of
+// incremental maintenance.
+func BenchmarkIndexPersistV3(b *testing.B) {
+	idx := benchPersistIndex(b)
+	path := filepath.Join(b.TempDir(), "bench-v3.idx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if err := idx.Save(path); err != nil {
 			b.Fatal(err)
 		}
@@ -351,6 +373,66 @@ func BenchmarkIndexPersistV2(b *testing.B) {
 			b.Fatalf("size %d, want %d", got.Size(), idx.Size())
 		}
 	}
+}
+
+// --- Incremental-maintenance benchmarks: the cost of keeping the index
+// fresh as one new table arrives, versus re-scanning the whole lake ---
+
+// BenchmarkIndexRebuildOneTable is the rebuild-only baseline: a new
+// table arrives and the entire 61-table lake is scanned from scratch.
+func BenchmarkIndexRebuildOneTable(b *testing.B) {
+	lake := datagen.Generate(datagen.Enterprise(60, 5))
+	arrival := datagen.Generate(datagen.Enterprise(1, 99))
+	all := append(append([]*autovalidate.Column{}, lake.Columns()...), arrival.Columns()...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full := indexBuildCols(all)
+		if full.Size() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkIndexIngestOneTable ingests the same one-table arrival as a
+// delta into a prebuilt 60-table index: only the new columns are
+// enumerated and their keys merged, which is why it beats the rebuild
+// baseline by orders of magnitude.
+func BenchmarkIndexIngestOneTable(b *testing.B) {
+	lake := datagen.Generate(datagen.Enterprise(60, 5))
+	arrival := datagen.Generate(datagen.Enterprise(1, 99)).Columns()
+	idx := autovalidate.BuildIndex(lake, autovalidate.DefaultBuildOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := idx.IngestColumns(arrival, autovalidate.DefaultBuildOptions()); d.Evidence.Size() == 0 {
+			b.Fatal("empty delta")
+		}
+	}
+}
+
+// BenchmarkIndexMerge combines two independently built half-lake indexes
+// — the map-side parallel alternative to sequential ingestion.
+func BenchmarkIndexMerge(b *testing.B) {
+	left := autovalidate.BuildIndex(datagen.Generate(datagen.Enterprise(30, 5)), autovalidate.DefaultBuildOptions())
+	right := autovalidate.BuildIndex(datagen.Generate(datagen.Enterprise(30, 6)), autovalidate.DefaultBuildOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, err := autovalidate.MergeIndexes(left, right)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if merged.Size() == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// indexBuildCols builds an index over raw columns with default options.
+func indexBuildCols(cols []*autovalidate.Column) *autovalidate.Index {
+	c := &autovalidate.Corpus{Tables: []*autovalidate.Table{{Name: "all", Columns: cols}}}
+	return autovalidate.BuildIndex(c, autovalidate.DefaultBuildOptions())
 }
 
 // benchService builds a validation service over the shared environment's

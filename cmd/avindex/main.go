@@ -1,33 +1,40 @@
-// Command avindex builds the offline Auto-Validate index (§2.4) from a
-// directory of CSV/TSV files.
+// Command avindex builds and incrementally maintains the offline
+// Auto-Validate index (§2.4) over a directory-of-CSV/TSV lake.
 //
 // Usage:
 //
-//	avindex -corpus ./lake -out lake.idx -tau 8
+//	avindex -corpus ./lake -out lake.idx -tau 8      # full build
+//	avindex -append ./new-tables -out lake.idx       # incremental ingest
+//	avindex -append ./new -out lake.idx -delta d1.avd  # ...also persist the delta
+//	avindex -apply d1.avd,d2.avd -out lake.idx       # compact saved deltas
+//
+// -append loads the existing -out index, delta-builds just the new
+// tables, folds them in, and rewrites the index — orders of magnitude
+// cheaper than re-scanning the whole lake. -apply replays deltas written
+// by -delta onto a base index (they must apply in generation order).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"autovalidate"
 )
 
 func main() {
-	corpusDir := flag.String("corpus", "lake", "directory of CSV/TSV files")
-	out := flag.String("out", "lake.idx", "output index file")
-	tau := flag.Int("tau", 8, "token-count cap τ for indexed patterns")
+	corpusDir := flag.String("corpus", "lake", "directory of CSV/TSV files for a full build")
+	appendDir := flag.String("append", "", "directory of new tables to ingest into the existing -out index")
+	deltaOut := flag.String("delta", "", "with -append: also write the ingest delta to this file")
+	applyList := flag.String("apply", "", "comma-separated delta files to compact onto the existing -out index")
+	out := flag.String("out", "lake.idx", "index file (output; for -append/-apply also the input)")
+	tau := flag.Int("tau", 8, "token-count cap τ for indexed patterns (full build only)")
 	workers := flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
-	c, err := autovalidate.LoadCorpusDir(*corpusDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "avindex:", err)
-		os.Exit(1)
-	}
 	opt := autovalidate.DefaultBuildOptions()
 	opt.Enum.MaxTokens = *tau
 	opt.Workers = *workers
@@ -38,14 +45,96 @@ func main() {
 			}
 		}
 	}
+
+	if *appendDir != "" && *applyList != "" {
+		fmt.Fprintln(os.Stderr, "avindex: -append and -apply are mutually exclusive")
+		os.Exit(2)
+	}
+	if *deltaOut != "" && *appendDir == "" {
+		fmt.Fprintln(os.Stderr, "avindex: -delta requires -append")
+		os.Exit(2)
+	}
+
 	start := time.Now()
+	switch {
+	case *appendDir != "":
+		appendRun(*appendDir, *out, *deltaOut, opt, start)
+	case *applyList != "":
+		applyRun(strings.Split(*applyList, ","), *out, start)
+	default:
+		buildRun(*corpusDir, *out, opt, *verbose, start)
+	}
+}
+
+// buildRun is the original one-pass full build.
+func buildRun(corpusDir, out string, opt autovalidate.BuildOptions, verbose bool, start time.Time) {
+	c, err := autovalidate.LoadCorpusDir(corpusDir)
+	if err != nil {
+		fatal(err)
+	}
 	idx := autovalidate.BuildIndex(c, opt)
-	if *verbose {
+	if verbose {
 		fmt.Fprintln(os.Stderr)
 	}
-	if err := idx.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "avindex:", err)
-		os.Exit(1)
+	if err := idx.Save(out); err != nil {
+		fatal(err)
 	}
-	fmt.Printf("%s in %s -> %s\n", idx, time.Since(start).Round(time.Millisecond), *out)
+	fmt.Printf("%s in %s -> %s\n", idx, time.Since(start).Round(time.Millisecond), out)
+}
+
+// appendRun ingests a directory of new tables into an existing index.
+func appendRun(dir, out, deltaOut string, opt autovalidate.BuildOptions, start time.Time) {
+	idx, err := autovalidate.LoadIndex(out)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := autovalidate.LoadCorpusDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	cols := c.Columns()
+	delta := idx.IngestColumns(cols, opt)
+	if deltaOut != "" {
+		if err := autovalidate.SaveIndexDelta(deltaOut, delta); err != nil {
+			fatal(err)
+		}
+	}
+	if err := idx.Save(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ingested %d columns from %s: %s in %s -> %s\n",
+		len(cols), dir, idx, time.Since(start).Round(time.Millisecond), out)
+}
+
+// applyRun compacts saved deltas onto an existing base index, in order.
+func applyRun(deltaPaths []string, out string, start time.Time) {
+	idx, err := autovalidate.LoadIndex(out)
+	if err != nil {
+		fatal(err)
+	}
+	deltas := make([]*autovalidate.IndexDelta, 0, len(deltaPaths))
+	for _, p := range deltaPaths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		d, err := autovalidate.LoadIndexDelta(p)
+		if err != nil {
+			fatal(err)
+		}
+		deltas = append(deltas, d)
+	}
+	if err := autovalidate.CompactIndex(idx, deltas...); err != nil {
+		fatal(err)
+	}
+	if err := idx.Save(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compacted %d delta(s): %s in %s -> %s\n",
+		len(deltas), idx, time.Since(start).Round(time.Millisecond), out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avindex:", err)
+	os.Exit(1)
 }

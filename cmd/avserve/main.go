@@ -11,8 +11,14 @@
 //
 //	POST /infer     {"values": [...]}                 → rule + fingerprint
 //	POST /validate  {"fingerprint": "...", "values": [...]} → drift report
+//	POST /ingest    {"tables": [...]}                 → fold new tables into the index
 //	GET  /healthz   index summary
 //	GET  /stats     cache and traffic counters
+//
+// /ingest swaps the index copy-on-write, so concurrent /infer and
+// /validate requests never observe a half-merged index; pass -readonly to
+// disable it. The in-memory index grows but is not persisted — run
+// avindex -append for durable growth.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0.01, "default drift-test significance level")
 	strategy := flag.String("strategy", "FMDV-VH", "default FMDV variant (FMDV, FMDV-V, FMDV-H, FMDV-VH)")
 	shards := flag.Int("shards", 0, "reshard the loaded index (0 keeps the persisted shard count)")
+	readonly := flag.Bool("readonly", false, "disable the mutating /ingest endpoint")
 	flag.Parse()
 
 	start := time.Now()
@@ -71,6 +78,7 @@ func main() {
 		Index:     idx,
 		Options:   &opt,
 		CacheSize: *cacheSize,
+		ReadOnly:  *readonly,
 	})
 	if err != nil {
 		fatal(err)

@@ -23,6 +23,13 @@ type Column struct {
 	Domain string
 }
 
+// NewColumn assembles a column from its lake identity and values — the
+// construction used by streaming ingestion, where tables arrive over the
+// wire rather than as files on disk.
+func NewColumn(table, name string, values []string) *Column {
+	return &Column{Table: table, Name: name, Values: values}
+}
+
 // DistinctCount returns the number of distinct values in the column.
 func (c *Column) DistinctCount() int {
 	seen := make(map[string]struct{}, len(c.Values))

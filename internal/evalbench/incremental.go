@@ -1,0 +1,83 @@
+package evalbench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"autovalidate/internal/datagen"
+	"autovalidate/internal/index"
+)
+
+// IngestComparison measures what it costs to absorb one newly arrived
+// table into the Enterprise index: a full rebuild of the grown lake (the
+// paper's recurring SCOPE job, §2.4/§5) against a single delta ingest,
+// with an equivalence check that both paths produce the same aggregates.
+type IngestComparison struct {
+	LakeColumns    int
+	ArrivalColumns int
+	RebuildMillis  float64
+	IngestMillis   float64
+	Speedup        float64
+	Equivalent     bool
+}
+
+// IngestComparison runs the measurement on the environment's Enterprise
+// lake with one freshly generated arrival table.
+func (e *Env) IngestComparison() IngestComparison {
+	arrival := datagen.Generate(datagen.Enterprise(1, e.Cfg.Seed+97)).Columns()
+	baseCols := e.TE.Columns()
+	grown := append(baseCols[:len(baseCols):len(baseCols)], arrival...)
+
+	opt := e.buildOptions()
+	t0 := time.Now()
+	rebuilt := index.Build(grown, opt)
+	rebuild := time.Since(t0)
+
+	inc := e.IdxE.Clone()
+	t1 := time.Now()
+	inc.IngestColumns(arrival, opt)
+	ingest := time.Since(t1)
+
+	return IngestComparison{
+		LakeColumns:    len(baseCols),
+		ArrivalColumns: len(arrival),
+		RebuildMillis:  float64(rebuild.Microseconds()) / 1000,
+		IngestMillis:   float64(ingest.Microseconds()) / 1000,
+		Speedup:        float64(rebuild) / float64(ingest),
+		Equivalent:     equivalentEvidence(rebuilt, inc),
+	}
+}
+
+// buildOptions reproduces the environment's index build settings.
+func (e *Env) buildOptions() index.BuildOptions {
+	enum := e.IdxE.Enum
+	return index.BuildOptions{Enum: enum, Workers: e.Cfg.Workers}
+}
+
+// equivalentEvidence checks two indexes carry the same entries, coverage,
+// and (to float tolerance) impurity sums.
+func equivalentEvidence(a, b *index.Index) bool {
+	if a.Size() != b.Size() || a.Columns != b.Columns || a.SkippedWide != b.SkippedWide {
+		return false
+	}
+	for k, ea := range a.All() {
+		eb, ok := b.Lookup(k)
+		if !ok || ea.Cov != eb.Cov || math.Abs(ea.SumImp-eb.SumImp) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatIngestComparison renders the comparison as a report section.
+func FormatIngestComparison(c IngestComparison) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "lake columns:      %d (+%d arriving)\n", c.LakeColumns, c.ArrivalColumns)
+	fmt.Fprintf(&sb, "full rebuild:      %.2f ms\n", c.RebuildMillis)
+	fmt.Fprintf(&sb, "delta ingest:      %.2f ms\n", c.IngestMillis)
+	fmt.Fprintf(&sb, "speedup:           %.0fx\n", c.Speedup)
+	fmt.Fprintf(&sb, "same aggregates:   %v\n", c.Equivalent)
+	return sb.String()
+}

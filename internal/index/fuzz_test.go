@@ -1,0 +1,85 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autovalidate/internal/corpus"
+)
+
+// fuzzSeedFiles builds small but real index artifacts — v1 blob, v2 and
+// v3 sharded files, a delta file — whose bytes seed the corpus, so the
+// fuzzer starts from structurally valid inputs and mutates checksums,
+// length prefixes, and gob payloads from there.
+func fuzzSeedFiles(f *testing.F) [][]byte {
+	f.Helper()
+	cols := []*corpus.Column{
+		corpus.NewColumn("t1", "id", []string{"a-01", "b-22", "c-33"}),
+		corpus.NewColumn("t1", "ts", []string{"2024-01-02", "2024-02-03"}),
+		corpus.NewColumn("t2", "code", []string{"XX", "YY", "ZZ"}),
+	}
+	opt := DefaultBuildOptions()
+	opt.Shards = 2
+	idx := Build(cols[:2], opt)
+	delta := BuildDelta(idx, cols[2:], opt)
+
+	dir := f.TempDir()
+	var out [][]byte
+	save := func(name string, write func(path string) error) {
+		path := filepath.Join(dir, name)
+		if err := write(path); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	save("v1.idx", idx.SaveV1)
+	save("v2.idx", idx.SaveV2)
+	save("v3.idx", idx.Save)
+	save("d.avd", func(p string) error { return SaveDelta(p, delta) })
+	return out
+}
+
+// FuzzLoadIndex hardens the persistence loaders: for arbitrary (often
+// truncated, bit-flipped, or adversarial) bytes, Load and LoadDelta must
+// return an error or a well-formed result — never panic, and never spin
+// allocating from a corrupt length prefix.
+func FuzzLoadIndex(f *testing.F) {
+	for _, data := range fuzzSeedFiles(f) {
+		f.Add(data)
+		if len(data) > 8 {
+			f.Add(data[:len(data)/2]) // truncation seeds
+			mutated := append([]byte{}, data...)
+			mutated[len(mutated)-3] ^= 0x40 // payload bit-flip seed
+			f.Add(mutated)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("AVIDX2\n"))
+	f.Add([]byte("AVIDX3\n\xff\xff\xff\xff"))
+	f.Add([]byte("not an index at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // cap per-exec cost; the formats have no size floor
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.idx")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if idx, err := Load(path); err == nil {
+			// A load that succeeds must yield a usable index: these
+			// calls must not panic either.
+			_ = idx.Size()
+			_, _ = idx.Lookup("<digit>+")
+			idx.Reshard(3)
+		}
+		if d, err := LoadDelta(path); err == nil {
+			_ = d.Evidence.Size()
+		}
+	})
+}

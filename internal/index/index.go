@@ -59,6 +59,13 @@ type Index struct {
 	// tokens (compensated at query time by vertical cuts, §3).
 	Columns     int
 	SkippedWide int
+	// Generation counts the ingest batches folded into the index since
+	// its initial build: a fresh Build is generation 0 and every
+	// IngestColumns / ApplyDelta advances it by one. Deltas record the
+	// generation they were built against, so a base index and a chain
+	// of persisted deltas compact deterministically and out-of-order
+	// application is detected rather than silently double-counted.
+	Generation uint64
 }
 
 // New returns an empty index with nshards shards (clamped to at least 1).
@@ -200,11 +207,7 @@ func Build(cols []*corpus.Column, opt BuildOptions) *Index {
 				})
 			}
 		},
-		func(a, b Entry) Entry {
-			a.SumImp += b.SumImp
-			a.Cov += b.Cov
-			return a
-		},
+		combineEntries,
 		func(key string) int { return shardOf(key, nshards) })
 
 	idx := &Index{
@@ -241,8 +244,8 @@ func (idx *Index) Size() int {
 
 // String summarizes the index.
 func (idx *Index) String() string {
-	return fmt.Sprintf("index{patterns=%d columns=%d skipped_wide=%d tau=%d shards=%d}",
-		idx.Size(), idx.Columns, idx.SkippedWide, idx.Enum.MaxTokens, len(idx.shards))
+	return fmt.Sprintf("index{patterns=%d columns=%d skipped_wide=%d tau=%d shards=%d gen=%d}",
+		idx.Size(), idx.Columns, idx.SkippedWide, idx.Enum.MaxTokens, len(idx.shards), idx.Generation)
 }
 
 // HeadPattern is one "common domain" pattern from the head of the index.

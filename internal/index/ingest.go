@@ -1,0 +1,192 @@
+// Incremental maintenance of the offline index. The paper's production
+// setting re-scans the lake continuously (§5's SCOPE job runs as a
+// recurring cluster job); here the same aggregates — per-pattern SumImp
+// and Cov plus corpus totals — are pure sums over columns, so new tables
+// fold into an existing index as a delta build over just the new columns,
+// and two independently built indexes merge shard-by-shard. Rebuilding
+// from scratch is never required.
+
+package index
+
+import (
+	"fmt"
+	"maps"
+	"sync"
+
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/mapreduce"
+)
+
+// combineEntries sums two evidence entries for one pattern key; it is the
+// combiner of every build, ingest, and merge dataflow. Tokens is a
+// property of the key, so the first operand's value is kept.
+func combineEntries(a, b Entry) Entry {
+	a.SumImp += b.SumImp
+	a.Cov += b.Cov
+	return a
+}
+
+// Delta is the evidence contributed by one batch of newly arrived
+// columns, built against a specific generation of a base index. A delta
+// is small (its own keys only), persists independently of the base
+// (SaveDelta / LoadDelta), and folds into the base with ApplyDelta — or
+// in bulk, in chain order, with Compact.
+type Delta struct {
+	// Evidence aggregates the batch exactly as Build would: per-pattern
+	// SumImp / Cov in the base's shard layout, plus the batch's own
+	// Columns and SkippedWide totals.
+	Evidence *Index
+	// Base is the Generation of the base index the delta was built
+	// against. ApplyDelta refuses a delta whose Base does not match the
+	// index's current generation, which is what makes a chain of deltas
+	// compact deterministically.
+	Base uint64
+}
+
+// BuildDelta scans a batch of new columns into a delta against base. The
+// enumeration options and shard layout come from the base index — mixing
+// τ or pruning settings across increments would corrupt the aggregates —
+// so only opt.Workers and opt.Progress are honored.
+func BuildDelta(base *Index, cols []*corpus.Column, opt BuildOptions) *Delta {
+	opt.Enum = base.Enum
+	opt.Shards = len(base.shards)
+	return &Delta{Evidence: Build(cols, opt), Base: base.Generation}
+}
+
+// ApplyDelta folds a delta into the index in place: per-pattern evidence
+// merges shard-by-shard in parallel (no cross-shard rehash), corpus
+// totals add, and the generation advances by one. It fails — leaving the
+// index untouched — if the delta was built against a different
+// generation or with different enumeration options.
+func (idx *Index) ApplyDelta(d *Delta) error {
+	if d == nil || d.Evidence == nil {
+		return fmt.Errorf("index: nil delta")
+	}
+	if d.Base != idx.Generation {
+		return fmt.Errorf("index: delta built against generation %d cannot apply to generation %d",
+			d.Base, idx.Generation)
+	}
+	if d.Evidence.Enum != idx.Enum {
+		return fmt.Errorf("index: delta enumeration options %+v differ from index options %+v",
+			d.Evidence.Enum, idx.Enum)
+	}
+	ev := d.Evidence
+	if len(ev.shards) != len(idx.shards) {
+		// A delta saved from a differently-sharded writer: rehash into
+		// this index's layout, leaving the caller's delta intact.
+		ev = reshardedCopy(ev, len(idx.shards))
+	}
+	mapreduce.MergeShards(idx.shards, ev.shards, combineEntries)
+	idx.Columns += ev.Columns
+	idx.SkippedWide += ev.SkippedWide
+	idx.Generation++
+	return nil
+}
+
+// IngestColumns delta-builds the new columns (the same shard-aware
+// map-reduce dataflow as Build, over just the batch) and folds the result
+// into the index, updating per-pattern coverage / FPR aggregates and the
+// corpus totals. It returns the applied delta so callers can persist it
+// with SaveDelta for replication or later compaction. Enumeration options
+// are taken from the index itself; see BuildDelta.
+func (idx *Index) IngestColumns(cols []*corpus.Column, opt BuildOptions) *Delta {
+	d := BuildDelta(idx, cols, opt)
+	// Cannot fail: the delta was built against this exact index.
+	if err := idx.ApplyDelta(d); err != nil {
+		panic("index: IngestColumns self-built delta rejected: " + err.Error())
+	}
+	return d
+}
+
+// Merge combines two independently built indexes over disjoint column
+// sets into a new index with a's shard layout; neither input is mutated.
+// The result is identical (up to float summation order) to building one
+// index over the union of the columns. Indexes built with different
+// enumeration options cannot be merged.
+func Merge(a, b *Index) (*Index, error) {
+	if a.Enum != b.Enum {
+		return nil, fmt.Errorf("index: cannot merge indexes with different enumeration options (%+v vs %+v)",
+			a.Enum, b.Enum)
+	}
+	out := a.Clone()
+	bs := b
+	if len(b.shards) != len(a.shards) {
+		bs = reshardedCopy(b, len(a.shards))
+	}
+	mapreduce.MergeShards(out.shards, bs.shards, combineEntries)
+	out.Columns = a.Columns + b.Columns
+	out.SkippedWide = a.SkippedWide + b.SkippedWide
+	out.Generation = a.Generation + b.Generation
+	return out, nil
+}
+
+// Compact applies a chain of deltas onto a base index in order. The
+// generation check on each link makes compaction deterministic: the same
+// base and delta chain always produce the same index, and a gap or
+// reordering in the chain is an error rather than a silent miscount.
+// The whole chain is validated before anything is applied, so a broken
+// chain leaves the base untouched rather than half-compacted.
+func Compact(base *Index, deltas ...*Delta) error {
+	gen := base.Generation
+	for i, d := range deltas {
+		switch {
+		case d == nil || d.Evidence == nil:
+			return fmt.Errorf("index: compacting delta %d of %d: nil delta", i+1, len(deltas))
+		case d.Base != gen:
+			return fmt.Errorf("index: compacting delta %d of %d: built against generation %d, chain is at %d",
+				i+1, len(deltas), d.Base, gen)
+		case d.Evidence.Enum != base.Enum:
+			return fmt.Errorf("index: compacting delta %d of %d: enumeration options differ from base",
+				i+1, len(deltas))
+		}
+		gen++
+	}
+	for i, d := range deltas {
+		if err := base.ApplyDelta(d); err != nil {
+			return fmt.Errorf("index: compacting delta %d of %d: %w", i+1, len(deltas), err)
+		}
+	}
+	return nil
+}
+
+// reshardedCopy builds a new index holding src's evidence rehashed into
+// nshards shards, without first deep-copying src's own maps (the copies
+// would be discarded immediately).
+func reshardedCopy(src *Index, nshards int) *Index {
+	out := New(nshards)
+	out.Enum = src.Enum
+	out.Columns = src.Columns
+	out.SkippedWide = src.SkippedWide
+	out.Generation = src.Generation
+	per := src.Size()/nshards + 1
+	for s := range out.shards {
+		out.shards[s] = make(map[string]Entry, per)
+	}
+	for k, e := range src.All() {
+		out.put(k, e)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the index (shard maps are copied in
+// parallel; Entry is a value type). Serving layers clone before ingesting
+// so in-flight readers of the old index never observe a half-merged one.
+func (idx *Index) Clone() *Index {
+	shards := make([]map[string]Entry, len(idx.shards))
+	var wg sync.WaitGroup
+	for s, shard := range idx.shards {
+		wg.Add(1)
+		go func(s int, shard map[string]Entry) {
+			defer wg.Done()
+			shards[s] = maps.Clone(shard)
+		}(s, shard)
+	}
+	wg.Wait()
+	return &Index{
+		shards:      shards,
+		Enum:        idx.Enum,
+		Columns:     idx.Columns,
+		SkippedWide: idx.SkippedWide,
+		Generation:  idx.Generation,
+	}
+}

@@ -19,14 +19,19 @@ import (
 // with the map flattened into parallel slices (gob encodes that far more
 // compactly than a map of structs — the paper's point that a terabyte
 // corpus distills to an index under a gigabyte depends on a dense
-// encoding). Version 2 keeps the dense slice encoding but writes one
+// encoding). Versions 2 and 3 keep the dense slice encoding but write one
 // length-prefixed, checksummed section per shard after a fixed header:
 //
-//	magic "AVIDX2\n" | uint32 header length | header gob
+//	magic "AVIDX2\n" or "AVIDX3\n" | uint32 header length | header gob
 //	per shard: uint32 payload length | uint32 CRC-32C | payload gob
 //
 // so shards decode in parallel on load and truncation or bit rot is
-// detected per section instead of panicking mid-decode.
+// detected per section instead of panicking mid-decode. Version 3 extends
+// the v2 header with the corpus generation counters of incremental
+// maintenance: an index file records its Generation, and a delta file
+// (Delta flag set) additionally records the base generation it extends,
+// so a base and a chain of deltas compact deterministically. v1 and v2
+// files remain readable through the same Load entry point.
 
 // indexFileV1 is the whole-index v1 blob.
 type indexFileV1 struct {
@@ -48,7 +53,24 @@ type headerV2 struct {
 	SkippedWide int
 }
 
-// shardFileV2 is one shard's payload section.
+// headerV3 is the v3 header section: v2 plus the incremental-maintenance
+// fields.
+type headerV3 struct {
+	NumShards   int
+	Enum        pattern.EnumOptions
+	Columns     int
+	SkippedWide int
+	// Generation is the index's ingest-batch counter (0 for a fresh
+	// build; for a delta file, the generation of the delta's own
+	// evidence index, normally 0).
+	Generation uint64
+	// Delta marks a delta file; BaseGeneration is then the generation
+	// of the base index the delta was built against.
+	Delta          bool
+	BaseGeneration uint64
+}
+
+// shardFileV2 is one shard's payload section (shared by v2 and v3).
 type shardFileV2 struct {
 	Keys   []string
 	SumImp []float64
@@ -58,7 +80,10 @@ type shardFileV2 struct {
 
 const fileVersionV1 = 1
 
-var magicV2 = []byte("AVIDX2\n")
+var (
+	magicV2 = []byte("AVIDX2\n")
+	magicV3 = []byte("AVIDX3\n")
+)
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -92,26 +117,70 @@ func writeAtomic(path string, write func(w *bufio.Writer) error) error {
 	return nil
 }
 
-// Save writes the index to path in the current (v2) sharded format.
-// Shard payloads are gob-encoded in parallel and written sequentially.
+// Save writes the index to path in the current (v3) sharded format,
+// recording the generation counter alongside the evidence. Shard payloads
+// are gob-encoded in parallel and written sequentially.
 func (idx *Index) Save(path string) error {
-	return writeAtomic(path, func(w *bufio.Writer) error { return idx.encodeV2(w, path) })
-}
-
-func (idx *Index) encodeV2(w *bufio.Writer, path string) error {
-	fail := func(err error) error {
-		return fmt.Errorf("index: encoding %s: %w", path, err)
-	}
-	if _, err := w.Write(magicV2); err != nil {
-		return fail(err)
-	}
-	var head bytes.Buffer
-	if err := gob.NewEncoder(&head).Encode(headerV2{
+	head := headerV3{
 		NumShards:   len(idx.shards),
 		Enum:        idx.Enum,
 		Columns:     idx.Columns,
 		SkippedWide: idx.SkippedWide,
-	}); err != nil {
+		Generation:  idx.Generation,
+	}
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		return encodeSharded(w, path, magicV3, head, idx.shards)
+	})
+}
+
+// SaveDelta writes a delta to path in the v3 format with the delta flag
+// set, so a delta file can never be mistaken for a full index: Load
+// rejects it and points at LoadDelta.
+func SaveDelta(path string, d *Delta) error {
+	if d == nil || d.Evidence == nil {
+		return fmt.Errorf("index: cannot save nil delta to %s", path)
+	}
+	ev := d.Evidence
+	head := headerV3{
+		NumShards:      len(ev.shards),
+		Enum:           ev.Enum,
+		Columns:        ev.Columns,
+		SkippedWide:    ev.SkippedWide,
+		Generation:     ev.Generation,
+		Delta:          true,
+		BaseGeneration: d.Base,
+	}
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		return encodeSharded(w, path, magicV3, head, ev.shards)
+	})
+}
+
+// SaveV2 writes the index in the previous sharded v2 format, which has no
+// generation counters. Kept for compatibility with older readers and as
+// the baseline in the persistence benchmarks.
+func (idx *Index) SaveV2(path string) error {
+	head := headerV2{
+		NumShards:   len(idx.shards),
+		Enum:        idx.Enum,
+		Columns:     idx.Columns,
+		SkippedWide: idx.SkippedWide,
+	}
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		return encodeSharded(w, path, magicV2, head, idx.shards)
+	})
+}
+
+// encodeSharded writes magic, a gob header, and one length-prefixed
+// checksummed section per shard — the layout shared by v2 and v3.
+func encodeSharded(w *bufio.Writer, path string, magic []byte, header any, shards []map[string]Entry) error {
+	fail := func(err error) error {
+		return fmt.Errorf("index: encoding %s: %w", path, err)
+	}
+	if _, err := w.Write(magic); err != nil {
+		return fail(err)
+	}
+	var head bytes.Buffer
+	if err := gob.NewEncoder(&head).Encode(header); err != nil {
 		return fail(err)
 	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(head.Len())); err != nil {
@@ -121,10 +190,10 @@ func (idx *Index) encodeV2(w *bufio.Writer, path string) error {
 		return fail(err)
 	}
 
-	payloads := make([][]byte, len(idx.shards))
-	errs := make([]error, len(idx.shards))
+	payloads := make([][]byte, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for s, shard := range idx.shards {
+	for s, shard := range shards {
 		wg.Add(1)
 		go func(s int, shard map[string]Entry) {
 			defer wg.Done()
@@ -197,8 +266,9 @@ func (idx *Index) SaveV1(path string) error {
 	})
 }
 
-// Load reads an index previously written by Save (v2) or SaveV1,
-// dispatching on the leading magic bytes.
+// Load reads an index previously written by Save (v3), SaveV2, or SaveV1,
+// dispatching on the leading magic bytes. A delta file is rejected with a
+// pointer at LoadDelta.
 func Load(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -210,11 +280,48 @@ func Load(path string) (*Index, error) {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	r := bufio.NewReader(f)
-	head, err := r.Peek(len(magicV2))
-	if err == nil && bytes.Equal(head, magicV2) {
+	head, err := r.Peek(len(magicV3))
+	switch {
+	case err == nil && bytes.Equal(head, magicV3):
+		idx, hdr, err := loadV3(path, r, fi.Size())
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Delta {
+			return nil, fmt.Errorf("index: %s is a delta file (base generation %d); load it with LoadDelta",
+				path, hdr.BaseGeneration)
+		}
+		return idx, nil
+	case err == nil && bytes.Equal(head, magicV2):
 		return loadV2(path, r, fi.Size())
 	}
 	return loadV1(path, r)
+}
+
+// LoadDelta reads a delta previously written by SaveDelta.
+func LoadDelta(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	r := bufio.NewReader(f)
+	head, err := r.Peek(len(magicV3))
+	if err != nil || !bytes.Equal(head, magicV3) {
+		return nil, fmt.Errorf("index: %s is not a delta file (bad magic)", path)
+	}
+	ev, hdr, err := loadV3(path, r, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	if !hdr.Delta {
+		return nil, fmt.Errorf("index: %s is a full index, not a delta; load it with Load", path)
+	}
+	return &Delta{Evidence: ev, Base: hdr.BaseGeneration}, nil
 }
 
 // checkLengths validates that the parallel evidence slices agree with the
@@ -248,47 +355,48 @@ func loadV1(path string, r io.Reader) (*Index, error) {
 	return idx, nil
 }
 
-func loadV2(path string, r io.Reader, fileSize int64) (*Index, error) {
+// readHeader consumes the magic and the length-prefixed gob header,
+// decoding it into dst.
+func readHeader(path string, r io.Reader, maxSection int64, magicLen int, dst any) error {
 	corrupt := func(format string, args ...any) error {
 		return fmt.Errorf("index: %s is corrupt: %s", path, fmt.Sprintf(format, args...))
 	}
-	// A section can be no longer than the file it came from; checking
-	// length prefixes against the real size keeps a corrupt prefix
-	// from driving a gigabyte allocation before the CRC ever runs.
-	maxSection := fileSize
-	if _, err := io.ReadFull(r, make([]byte, len(magicV2))); err != nil {
-		return nil, corrupt("short magic: %v", err)
+	if _, err := io.ReadFull(r, make([]byte, magicLen)); err != nil {
+		return corrupt("short magic: %v", err)
 	}
 	var headLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &headLen); err != nil {
-		return nil, corrupt("missing header length: %v", err)
+		return corrupt("missing header length: %v", err)
 	}
 	if headLen == 0 || int64(headLen) > maxSection {
-		return nil, corrupt("implausible header length %d", headLen)
+		return corrupt("implausible header length %d", headLen)
 	}
 	headBuf := make([]byte, headLen)
 	if _, err := io.ReadFull(r, headBuf); err != nil {
-		return nil, corrupt("truncated header: %v", err)
+		return corrupt("truncated header: %v", err)
 	}
-	var head headerV2
-	if err := gob.NewDecoder(bytes.NewReader(headBuf)).Decode(&head); err != nil {
-		return nil, corrupt("undecodable header: %v", err)
+	if err := gob.NewDecoder(bytes.NewReader(headBuf)).Decode(dst); err != nil {
+		return corrupt("undecodable header: %v", err)
 	}
-	if head.NumShards < 1 || head.NumShards > 1<<16 {
-		return nil, corrupt("implausible shard count %d", head.NumShards)
-	}
+	return nil
+}
 
-	// Sections are read sequentially (lengths gate the reads) and
-	// decoded in parallel; each decoded shard is adopted directly as an
-	// in-memory shard, so no rehash happens on the load path.
-	type section struct {
-		s       int
-		payload []byte
+// readSections reads and decodes the per-shard sections shared by v2 and
+// v3. Sections are read sequentially (lengths gate the reads, bounded by
+// the real file size so a corrupt prefix cannot drive a gigabyte
+// allocation) and decoded in parallel; each decoded shard is adopted
+// directly as an in-memory shard, so no rehash happens on the load path.
+func readSections(path string, r io.Reader, nshards int, maxSection int64) ([]map[string]Entry, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("index: %s is corrupt: %s", path, fmt.Sprintf(format, args...))
 	}
-	shards := make([]map[string]Entry, head.NumShards)
-	errs := make([]error, head.NumShards)
+	if nshards < 1 || nshards > 1<<16 {
+		return nil, corrupt("implausible shard count %d", nshards)
+	}
+	shards := make([]map[string]Entry, nshards)
+	errs := make([]error, nshards)
 	var wg sync.WaitGroup
-	for s := 0; s < head.NumShards; s++ {
+	for s := 0; s < nshards; s++ {
 		var payloadLen, sum uint32
 		if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
 			return nil, corrupt("truncated at shard %d length: %v", s, err)
@@ -307,23 +415,23 @@ func loadV2(path string, r io.Reader, fileSize int64) (*Index, error) {
 			return nil, corrupt("shard %d checksum mismatch (%08x != %08x)", s, got, sum)
 		}
 		wg.Add(1)
-		go func(sec section) {
+		go func(s int, payload []byte) {
 			defer wg.Done()
 			var sf shardFileV2
-			if err := gob.NewDecoder(bytes.NewReader(sec.payload)).Decode(&sf); err != nil {
-				errs[sec.s] = corrupt("undecodable shard %d: %v", sec.s, err)
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sf); err != nil {
+				errs[s] = corrupt("undecodable shard %d: %v", s, err)
 				return
 			}
 			if err := checkLengths(path, sf.Keys, sf.SumImp, sf.Cov, sf.Tokens); err != nil {
-				errs[sec.s] = err
+				errs[s] = err
 				return
 			}
 			shard := make(map[string]Entry, len(sf.Keys))
 			for i, k := range sf.Keys {
 				shard[k] = Entry{SumImp: sf.SumImp[i], Cov: sf.Cov[i], Tokens: sf.Tokens[i]}
 			}
-			shards[sec.s] = shard
-		}(section{s: s, payload: payload})
+			shards[s] = shard
+		}(s, payload)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -331,10 +439,40 @@ func loadV2(path string, r io.Reader, fileSize int64) (*Index, error) {
 			return nil, err
 		}
 	}
+	return shards, nil
+}
+
+func loadV2(path string, r io.Reader, fileSize int64) (*Index, error) {
+	var head headerV2
+	if err := readHeader(path, r, fileSize, len(magicV2), &head); err != nil {
+		return nil, err
+	}
+	shards, err := readSections(path, r, head.NumShards, fileSize)
+	if err != nil {
+		return nil, err
+	}
 	return &Index{
 		shards:      shards,
 		Enum:        head.Enum,
 		Columns:     head.Columns,
 		SkippedWide: head.SkippedWide,
 	}, nil
+}
+
+func loadV3(path string, r io.Reader, fileSize int64) (*Index, headerV3, error) {
+	var head headerV3
+	if err := readHeader(path, r, fileSize, len(magicV3), &head); err != nil {
+		return nil, head, err
+	}
+	shards, err := readSections(path, r, head.NumShards, fileSize)
+	if err != nil {
+		return nil, head, err
+	}
+	return &Index{
+		shards:      shards,
+		Enum:        head.Enum,
+		Columns:     head.Columns,
+		SkippedWide: head.SkippedWide,
+		Generation:  head.Generation,
+	}, head, nil
 }

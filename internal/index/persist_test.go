@@ -42,6 +42,84 @@ func sameEntries(t *testing.T, a, b *Index) {
 	}
 }
 
+// TestV3RoundTripPreservesGeneration checks the current format records
+// the ingest-batch counter: an index that has absorbed deltas reloads at
+// the same generation, so later deltas still chain onto it.
+func TestV3RoundTripPreservesGeneration(t *testing.T) {
+	c := datagen.Generate(datagen.Enterprise(12, 7))
+	cols := c.Columns()
+	idx := Build(cols[:len(cols)/2], DefaultBuildOptions())
+	idx.IngestColumns(cols[len(cols)/2:], DefaultBuildOptions())
+	if idx.Generation != 1 {
+		t.Fatalf("fixture generation %d, want 1", idx.Generation)
+	}
+	path := filepath.Join(t.TempDir(), "gen.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 1 {
+		t.Errorf("reloaded generation %d, want 1", got.Generation)
+	}
+	sameEntries(t, idx, got)
+}
+
+// TestV2RoundTrip keeps the previous sharded format writable and
+// readable: SaveV2 output loads through the same Load entry point (with
+// the generation counter absent, i.e. zero).
+func TestV2RoundTrip(t *testing.T) {
+	idx := buildFixture(t, 4)
+	path := filepath.Join(t.TempDir(), "v2.idx")
+	if err := idx.SaveV2(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEntries(t, idx, got)
+}
+
+// TestDeltaFileConfusion verifies the two v3 file species cannot be
+// mistaken for each other: Load rejects a delta file and LoadDelta
+// rejects a full index, both with errors, never a silent misread.
+func TestDeltaFileConfusion(t *testing.T) {
+	idx := buildFixture(t, 4)
+	c := datagen.Generate(datagen.Enterprise(4, 9))
+	d := BuildDelta(idx, c.Columns(), DefaultBuildOptions())
+
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "d.avd")
+	idxPath := filepath.Join(dir, "full.idx")
+	if err := SaveDelta(deltaPath, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Save(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(deltaPath); err == nil {
+		t.Error("Load on a delta file should error")
+	}
+	if _, err := LoadDelta(idxPath); err == nil {
+		t.Error("LoadDelta on a full index should error")
+	}
+	if _, err := LoadDelta(filepath.Join(dir, "missing.avd")); err == nil {
+		t.Error("LoadDelta on a missing file should error")
+	}
+
+	got, err := LoadDelta(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != d.Base {
+		t.Errorf("reloaded delta base %d, want %d", got.Base, d.Base)
+	}
+	sameEntries(t, d.Evidence, got.Evidence)
+}
+
 // TestV2RoundTripAcrossShardCounts saves with one shard count and loads
 // into whatever the file says, then reshards to a different count —
 // evidence and lookups must be identical throughout, including the
@@ -112,9 +190,9 @@ func TestBuildEmptyColumnSet(t *testing.T) {
 	}
 }
 
-// TestLoadTruncatedV2 truncates a valid v2 file at every interesting
-// boundary; each prefix must produce an error, never a panic.
-func TestLoadTruncatedV2(t *testing.T) {
+// TestLoadTruncatedSharded truncates a valid sharded (v3) file at every
+// interesting boundary; each prefix must produce an error, never a panic.
+func TestLoadTruncatedSharded(t *testing.T) {
 	idx := buildFixture(t, 4)
 	path := filepath.Join(t.TempDir(), "full.idx")
 	if err := idx.Save(path); err != nil {
@@ -124,7 +202,7 @@ func TestLoadTruncatedV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cuts := []int{0, 3, len(magicV2), len(magicV2) + 2, len(magicV2) + 20,
+	cuts := []int{0, 3, len(magicV3), len(magicV3) + 2, len(magicV3) + 20,
 		len(data) / 2, len(data) - 1}
 	for _, cut := range cuts {
 		if cut >= len(data) {
@@ -140,9 +218,9 @@ func TestLoadTruncatedV2(t *testing.T) {
 	}
 }
 
-// TestLoadCorruptV2Checksum flips one payload byte; the per-shard CRC
+// TestLoadCorruptChecksum flips one payload byte; the per-shard CRC
 // must reject the file.
-func TestLoadCorruptV2Checksum(t *testing.T) {
+func TestLoadCorruptChecksum(t *testing.T) {
 	idx := buildFixture(t, 4)
 	path := filepath.Join(t.TempDir(), "crc.idx")
 	if err := idx.Save(path); err != nil {
@@ -204,7 +282,7 @@ func TestLoadOversizedLengthPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	headLen := binary.LittleEndian.Uint32(data[len(magicV2):])
+	headLen := binary.LittleEndian.Uint32(data[len(magicV3):])
 
 	patch := func(name string, offset int) {
 		bad := append([]byte{}, data...)
@@ -217,8 +295,8 @@ func TestLoadOversizedLengthPrefix(t *testing.T) {
 			t.Errorf("%s: oversized length prefix at %d should error", name, offset)
 		}
 	}
-	patch("header.idx", len(magicV2))               // header length
-	patch("shard.idx", len(magicV2)+4+int(headLen)) // first shard length
+	patch("header.idx", len(magicV3))               // header length
+	patch("shard.idx", len(magicV3)+4+int(headLen)) // first shard length
 }
 
 // TestSaveIsAtomic checks that saving over an existing index goes

@@ -153,6 +153,37 @@ func runShardedSerial[T any, V any](cfg Config, nshards int, items []T, mapper f
 	return out
 }
 
+// MergeShards folds src's shard maps into dst's in place, one goroutine
+// per shard, combining values for keys present on both sides. It is the
+// incremental half of RunSharded: a delta job's output merges into an
+// existing shard set with no cross-shard rehash, so ingesting a batch
+// costs only the batch's own keys. dst and src must have the same length
+// and dst's maps must be non-nil; src maps may be nil or empty.
+func MergeShards[V any](dst, src []map[string]V, combiner func(a, b V) V) {
+	if len(dst) != len(src) {
+		panic("mapreduce: MergeShards shard counts differ")
+	}
+	var wg sync.WaitGroup
+	for s := range dst {
+		if len(src[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			m := dst[s]
+			for k, v := range src[s] {
+				if old, ok := m[k]; ok {
+					m[k] = combiner(old, v)
+				} else {
+					m[k] = v
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
 // Map applies fn to every item in parallel and returns the results in
 // input order. It is the "map-only" stage used for per-column work that
 // needs no key aggregation (e.g. evaluating a benchmark).

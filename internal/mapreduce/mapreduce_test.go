@@ -30,6 +30,33 @@ func TestRunWordCount(t *testing.T) {
 	}
 }
 
+// TestMergeShards verifies the incremental reduce: folding a delta's
+// shard maps into an existing shard set combines overlapping keys and
+// adopts new ones, shard positions untouched.
+func TestMergeShards(t *testing.T) {
+	dst := []map[string]int{{"a": 1, "b": 2}, {"x": 10}, {}}
+	src := []map[string]int{{"b": 3, "c": 4}, nil, {"y": 5}}
+	MergeShards(dst, src, func(a, b int) int { return a + b })
+	want := []map[string]int{{"a": 1, "b": 5, "c": 4}, {"x": 10}, {"y": 5}}
+	for s := range want {
+		if len(dst[s]) != len(want[s]) {
+			t.Fatalf("shard %d = %v, want %v", s, dst[s], want[s])
+		}
+		for k, v := range want[s] {
+			if dst[s][k] != v {
+				t.Errorf("shard %d key %q = %d, want %d", s, k, dst[s][k], v)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched shard counts should panic (caller bug)")
+		}
+	}()
+	MergeShards(dst, src[:2], func(a, b int) int { return a + b })
+}
+
 func TestRunSerialEqualsParallel(t *testing.T) {
 	items := make([]int, 500)
 	for i := range items {

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"autovalidate/internal/core"
+)
+
+// ingestServer returns a server over a private clone of the fixture
+// index (ingest swaps copy-on-write, but the clone keeps test intent
+// obvious) with a small ingest body cap for the oversize case.
+func ingestServer(t *testing.T, maxIngest int64) *Server {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.M = 5
+	srv, err := New(Config{
+		Index:         testIndex(t).Clone(),
+		Options:       &opt,
+		CacheSize:     64,
+		MaxIngestBody: maxIngest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func ingestBatch(domain string, n int, seed int64, t *testing.T) IngestRequest {
+	t.Helper()
+	return IngestRequest{Tables: []IngestTable{{
+		Name: fmt.Sprintf("feed-%s-%d", domain, seed),
+		Columns: []IngestColumn{
+			{Name: "a", Values: trainValues(t, domain, n, seed)},
+			{Name: "b", Values: trainValues(t, "locale", n, seed+1)},
+		},
+	}}}
+}
+
+func TestIngestGrowsIndex(t *testing.T) {
+	srv := ingestServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := srv.CurrentStats()
+	var resp IngestResponse
+	if code := post(t, ts, "/ingest", ingestBatch("timestamp_us", 60, 3, t), &resp); code != http.StatusOK {
+		t.Fatalf("/ingest: status %d", code)
+	}
+	if resp.ColumnsIngested != 2 {
+		t.Errorf("columns_ingested = %d, want 2", resp.ColumnsIngested)
+	}
+	if resp.Generation != before.IndexGeneration+1 {
+		t.Errorf("generation %d, want %d", resp.Generation, before.IndexGeneration+1)
+	}
+	if resp.IndexColumns != before.IndexColumns+2 {
+		t.Errorf("index_columns %d, want %d", resp.IndexColumns, before.IndexColumns+2)
+	}
+	after := srv.CurrentStats()
+	if after.Ingests != before.Ingests+1 || after.IndexGeneration != resp.Generation {
+		t.Errorf("stats not updated: %+v", after)
+	}
+}
+
+// TestIngestInvalidatesCache verifies the copy-on-write swap drops cached
+// rules: a fingerprint minted before the ingest must miss afterwards
+// (changed pattern evidence can alter which pattern FMDV selects).
+func TestIngestInvalidatesCache(t *testing.T) {
+	srv := ingestServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	train := trainValues(t, "date_mdy_text", 100, 3)
+
+	var inf InferResponse
+	if code := post(t, ts, "/infer", InferRequest{Values: train}, &inf); code != http.StatusOK {
+		t.Fatalf("/infer: status %d", code)
+	}
+	if code := post(t, ts, "/ingest", ingestBatch("date_mdy_text", 50, 9, t), nil); code != http.StatusOK {
+		t.Fatalf("/ingest: status %d", code)
+	}
+	var out errorResponse
+	if code := post(t, ts, "/validate", ValidateRequest{Fingerprint: inf.Fingerprint, Values: train}, &out); code != http.StatusNotFound {
+		t.Fatalf("pre-ingest fingerprint after ingest: status %d, want 404", code)
+	}
+	// Re-inferring the same column works and repopulates the cache.
+	var again InferResponse
+	if code := post(t, ts, "/infer", InferRequest{Values: train}, &again); code != http.StatusOK || again.Cached {
+		t.Fatalf("post-ingest re-infer: status %d cached=%v", code, again.Cached)
+	}
+}
+
+// TestIngestErrorPaths drives the malformed-request table: bad JSON,
+// structurally empty batches, and an oversized body. None may mutate the
+// index.
+func TestIngestErrorPaths(t *testing.T) {
+	srv := ingestServer(t, 1024)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	before := srv.CurrentStats()
+
+	big := IngestRequest{Tables: []IngestTable{{Name: "big", Columns: []IngestColumn{
+		{Name: "v", Values: []string{strings.Repeat("x", 4096)}},
+	}}}}
+
+	cases := []struct {
+		name string
+		raw  string // raw body; empty means marshal req
+		req  any
+		want int
+	}{
+		{name: "garbage body", raw: "{nope", want: http.StatusBadRequest},
+		{name: "empty object", raw: "{}", want: http.StatusBadRequest},
+		{name: "no tables", req: IngestRequest{}, want: http.StatusBadRequest},
+		{name: "table without columns", req: IngestRequest{Tables: []IngestTable{{Name: "t"}}}, want: http.StatusBadRequest},
+		{name: "column without values", req: IngestRequest{Tables: []IngestTable{{
+			Name: "t", Columns: []IngestColumn{{Name: "c"}},
+		}}}, want: http.StatusBadRequest},
+		{name: "oversized body", req: big, want: http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var code int
+			if c.raw != "" {
+				resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte(c.raw)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				code = resp.StatusCode
+			} else {
+				var out errorResponse
+				code = post(t, ts, "/ingest", c.req, &out)
+				if out.Error == "" {
+					t.Error("error body should explain the rejection")
+				}
+			}
+			if code != c.want {
+				t.Errorf("status %d, want %d", code, c.want)
+			}
+		})
+	}
+	after := srv.CurrentStats()
+	if after.IndexGeneration != before.IndexGeneration || after.IndexColumns != before.IndexColumns || after.Ingests != 0 {
+		t.Errorf("rejected requests mutated the index: %+v -> %+v", before, after)
+	}
+}
+
+// TestReadOnlyDisablesIngest verifies a read-only server has no /ingest
+// route at all.
+func TestReadOnlyDisablesIngest(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.M = 5
+	srv, err := New(Config{Index: testIndex(t), Options: &opt, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code := post(t, ts, "/ingest", ingestBatch("locale", 20, 3, t), nil); code != http.StatusNotFound {
+		t.Errorf("/ingest on read-only server: status %d, want 404", code)
+	}
+	if code := post(t, ts, "/infer", InferRequest{Values: trainValues(t, "locale", 50, 3)}, nil); code != http.StatusOK {
+		t.Errorf("read-only server should still infer: status %d", code)
+	}
+}
+
+// TestConcurrentIngestAndValidate hammers /validate (train-and-validate,
+// exercising the rule cache both ways) while a writer streams ingest
+// batches. Run under -race this is the atomic-swap regression test:
+// every request must succeed against a coherent index snapshot, and the
+// final generation must count every batch.
+func TestConcurrentIngestAndValidate(t *testing.T) {
+	srv := ingestServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const ingests = 6
+	domains := []string{"timestamp_us", "date_mdy_text", "locale"}
+	stop := make(chan struct{})
+	errc := make(chan error, 64)
+
+	// Request bodies are marshaled up front: the reader goroutines must
+	// not touch testing.T helpers that can call FailNow.
+	bodies := make([][]byte, 4)
+	for r := range bodies {
+		domain := domains[r%len(domains)]
+		body, err := json.Marshal(ValidateRequest{
+			Train:  trainValues(t, domain, 80, int64(3+r)),
+			Values: trainValues(t, domain, 120, int64(17+r)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[r] = body
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < len(bodies); r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/validate", "application/json", bytes.NewReader(bodies[r]))
+				if err != nil {
+					errc <- fmt.Errorf("reader %d iteration %d: %w", r, i, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+					errc <- fmt.Errorf("reader %d iteration %d: status %d", r, i, resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < ingests; i++ {
+		var resp IngestResponse
+		if code := post(t, ts, "/ingest", ingestBatch(domains[i%len(domains)], 40, int64(100+i), t), &resp); code != http.StatusOK {
+			t.Errorf("ingest %d: status %d", i, code)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if gen := srv.CurrentStats().IndexGeneration; gen != ingests {
+		t.Errorf("final generation %d, want %d", gen, ingests)
+	}
+}

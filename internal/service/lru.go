@@ -57,4 +57,13 @@ func (c *ruleLRU) add(key string, rule *validate.Rule) {
 	}
 }
 
+// clear drops every cached rule. Ingestion calls this when it swaps the
+// index: any changed pattern evidence can alter which pattern FMDV
+// selects for an arbitrary column, so selective invalidation by the
+// cached rule's own pattern would be unsound.
+func (c *ruleLRU) clear() {
+	c.order.Init()
+	clear(c.items)
+}
+
 func (c *ruleLRU) len() int { return c.order.Len() }

@@ -4,6 +4,13 @@
 // LRU cache of inferred rules keyed by column fingerprint lets recurring
 // pipelines skip FMDV entirely after their first run — the paper's O(1)
 // online story (§2.4) behind a serving layer.
+//
+// The index is not frozen at startup: POST /ingest folds newly arrived
+// tables into it incrementally (the delta-build of internal/index) with a
+// copy-on-write swap — in-flight /infer and /validate requests keep the
+// index pointer they loaded, so they never observe a half-merged index,
+// and the rule cache is invalidated atomically with the swap because any
+// changed pattern evidence can alter which pattern FMDV selects.
 package service
 
 import (
@@ -20,13 +27,16 @@ import (
 	"time"
 
 	"autovalidate/internal/core"
+	"autovalidate/internal/corpus"
 	"autovalidate/internal/index"
 	"autovalidate/internal/validate"
 )
 
 // Config configures a server.
 type Config struct {
-	// Index is the loaded offline index. Required.
+	// Index is the loaded offline index. Required. The server takes
+	// ownership of the pointer but never mutates the index itself:
+	// ingestion clones before merging.
 	Index *index.Index
 	// Options are the inference defaults; nil means the paper's
 	// defaults with τ taken from the index. Per-request parameters
@@ -34,20 +44,33 @@ type Config struct {
 	Options *core.Options
 	// CacheSize is the rule-cache capacity in entries (0 = 1024).
 	CacheSize int
+	// MaxIngestBody caps /ingest request bodies in bytes (0 = 64 MiB).
+	MaxIngestBody int64
+	// ReadOnly disables the mutating /ingest endpoint.
+	ReadOnly bool
 }
 
 // Server is a long-running validation service over one offline index.
 // All methods are safe for concurrent use.
 type Server struct {
-	idx *index.Index
-	opt core.Options
+	// idx is swapped wholesale by ingestion; request handlers load it
+	// once and use that snapshot for the whole request.
+	idx       atomic.Pointer[index.Index]
+	opt       core.Options
+	maxIngest int64
+	readOnly  bool
 
 	mu    sync.Mutex
 	cache *ruleLRU
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	start  time.Time
+	// ingestMu serializes ingests so concurrent batches cannot clone
+	// the same base and lose each other's columns.
+	ingestMu sync.Mutex
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	ingests atomic.Uint64
+	start   time.Time
 }
 
 // New builds a server from a loaded index.
@@ -65,12 +88,19 @@ func New(cfg Config) (*Server, error) {
 	if size <= 0 {
 		size = 1024
 	}
-	return &Server{
-		idx:   cfg.Index,
-		opt:   opt,
-		cache: newRuleLRU(size),
-		start: time.Now(),
-	}, nil
+	maxIngest := cfg.MaxIngestBody
+	if maxIngest <= 0 {
+		maxIngest = maxBody
+	}
+	s := &Server{
+		opt:       opt,
+		maxIngest: maxIngest,
+		readOnly:  cfg.ReadOnly,
+		cache:     newRuleLRU(size),
+		start:     time.Now(),
+	}
+	s.idx.Store(cfg.Index)
+	return s, nil
 }
 
 // maxBody caps request bodies; a validation batch of a million short
@@ -82,10 +112,16 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /infer", s.handleInfer)
 	mux.HandleFunc("POST /validate", s.handleValidate)
+	if !s.readOnly {
+		mux.HandleFunc("POST /ingest", s.handleIngest)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
+
+// Index returns the currently served index snapshot.
+func (s *Server) Index() *index.Index { return s.idx.Load() }
 
 // RuleParams are the per-request inference overrides shared by /infer
 // and /validate. Pointer fields distinguish "absent" from zero.
@@ -195,8 +231,11 @@ func Fingerprint(values []string, opt core.Options) string {
 }
 
 // inferCached returns the rule for a training column, from cache when
-// possible.
+// possible. A freshly inferred rule is cached only if the index has not
+// been swapped since the snapshot was taken — otherwise the rule would
+// outlive the evidence it was inferred from.
 func (s *Server) inferCached(values []string, opt core.Options) (fp string, rule *validate.Rule, cached bool, err error) {
+	idx := s.idx.Load()
 	fp = Fingerprint(values, opt)
 	s.mu.Lock()
 	rule, ok := s.cache.get(fp)
@@ -206,14 +245,98 @@ func (s *Server) inferCached(values []string, opt core.Options) (fp string, rule
 		return fp, rule, true, nil
 	}
 	s.misses.Add(1)
-	rule, err = core.Infer(values, s.idx, opt)
+	rule, err = core.Infer(values, idx, opt)
 	if err != nil {
 		return fp, nil, false, err
 	}
 	s.mu.Lock()
-	s.cache.add(fp, rule)
+	if s.idx.Load() == idx {
+		s.cache.add(fp, rule)
+	}
 	s.mu.Unlock()
 	return fp, rule, false, nil
+}
+
+// IngestRequest delivers a batch of newly arrived tables to fold into the
+// served index.
+type IngestRequest struct {
+	Tables []IngestTable `json:"tables"`
+}
+
+// IngestTable is one table of an ingest batch.
+type IngestTable struct {
+	Name    string         `json:"name"`
+	Columns []IngestColumn `json:"columns"`
+}
+
+// IngestColumn is one column of an ingested table.
+type IngestColumn struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// IngestResponse summarizes the index after an ingest.
+type IngestResponse struct {
+	// ColumnsIngested is the number of columns in this batch.
+	ColumnsIngested int `json:"columns_ingested"`
+	// IndexColumns and IndexPatterns are the post-ingest corpus totals.
+	IndexColumns  int `json:"index_columns"`
+	IndexPatterns int `json:"index_patterns"`
+	// Generation is the index's post-ingest generation counter.
+	Generation uint64 `json:"generation"`
+}
+
+// ingestColumns validates an ingest request and flattens it into corpus
+// columns.
+func ingestColumns(req IngestRequest) ([]*corpus.Column, error) {
+	if len(req.Tables) == 0 {
+		return nil, errors.New("at least one table is required")
+	}
+	var cols []*corpus.Column
+	for ti, tbl := range req.Tables {
+		if len(tbl.Columns) == 0 {
+			return nil, fmt.Errorf("table %d (%q) has no columns", ti, tbl.Name)
+		}
+		for _, col := range tbl.Columns {
+			if len(col.Values) == 0 {
+				return nil, fmt.Errorf("column %q of table %q has no values", col.Name, tbl.Name)
+			}
+			cols = append(cols, corpus.NewColumn(tbl.Name, col.Name, col.Values))
+		}
+	}
+	return cols, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !decodeJSONLimit(w, r, &req, s.maxIngest) {
+		return
+	}
+	cols, err := ingestColumns(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	// Copy-on-write: the batch merges into a clone, readers keep the
+	// snapshot they loaded, and the swap below publishes the new index
+	// and invalidates the rule cache in one critical section.
+	next := s.idx.Load().Clone()
+	next.IngestColumns(cols, index.BuildOptions{})
+	s.mu.Lock()
+	s.idx.Store(next)
+	s.cache.clear()
+	s.mu.Unlock()
+	s.ingests.Add(1)
+
+	writeJSON(w, http.StatusOK, IngestResponse{
+		ColumnsIngested: len(cols),
+		IndexColumns:    next.Columns,
+		IndexPatterns:   next.Size(),
+		Generation:      next.Generation,
+	})
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -292,24 +415,29 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	idx := s.idx.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"patterns": s.idx.Size(),
-		"columns":  s.idx.Columns,
-		"shards":   s.idx.NumShards(),
-		"tau":      s.idx.Enum.MaxTokens,
+		"status":     "ok",
+		"patterns":   idx.Size(),
+		"columns":    idx.Columns,
+		"shards":     idx.NumShards(),
+		"tau":        idx.Enum.MaxTokens,
+		"generation": idx.Generation,
 	})
 }
 
 // Stats is the /stats payload.
 type Stats struct {
-	IndexPatterns int     `json:"index_patterns"`
-	IndexShards   int     `json:"index_shards"`
-	CacheSize     int     `json:"cache_size"`
-	CacheCapacity int     `json:"cache_capacity"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	IndexPatterns   int     `json:"index_patterns"`
+	IndexColumns    int     `json:"index_columns"`
+	IndexShards     int     `json:"index_shards"`
+	IndexGeneration uint64  `json:"index_generation"`
+	Ingests         uint64  `json:"ingests"`
+	CacheSize       int     `json:"cache_size"`
+	CacheCapacity   int     `json:"cache_capacity"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
 }
 
 // CurrentStats snapshots the serving counters.
@@ -318,14 +446,18 @@ func (s *Server) CurrentStats() Stats {
 	size := s.cache.len()
 	capacity := s.cache.cap
 	s.mu.Unlock()
+	idx := s.idx.Load()
 	return Stats{
-		IndexPatterns: s.idx.Size(),
-		IndexShards:   s.idx.NumShards(),
-		CacheSize:     size,
-		CacheCapacity: capacity,
-		CacheHits:     s.hits.Load(),
-		CacheMisses:   s.misses.Load(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		IndexPatterns:   idx.Size(),
+		IndexColumns:    idx.Columns,
+		IndexShards:     idx.NumShards(),
+		IndexGeneration: idx.Generation,
+		Ingests:         s.ingests.Load(),
+		CacheSize:       size,
+		CacheCapacity:   capacity,
+		CacheHits:       s.hits.Load(),
+		CacheMisses:     s.misses.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 }
 
@@ -344,8 +476,18 @@ func inferStatus(err error) int {
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	return decodeJSONLimit(w, r, dst, maxBody)
+}
+
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return false
 	}
