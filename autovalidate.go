@@ -37,7 +37,9 @@ import (
 	"autovalidate/internal/core"
 	"autovalidate/internal/corpus"
 	"autovalidate/internal/index"
+	"autovalidate/internal/monitor"
 	"autovalidate/internal/pattern"
+	"autovalidate/internal/registry"
 	"autovalidate/internal/service"
 	"autovalidate/internal/stats"
 	"autovalidate/internal/validate"
@@ -114,6 +116,49 @@ type (
 	IngestColumn = service.IngestColumn
 	// RuleParams are the per-request inference overrides.
 	RuleParams = service.RuleParams
+
+	// StreamRegistry is the durable, versioned store of named streams
+	// and their compiled validation rules — the registry half of
+	// continuous validation. Persist with its Save method; re-open with
+	// LoadStreamRegistry.
+	StreamRegistry = registry.Registry
+	// Stream is one version of one named stream's rule, with its FMDV
+	// evidence snapshot and index-generation provenance.
+	Stream = registry.Stream
+
+	// MonitorPolicy configures the continuous-validation engine's
+	// escalation ladder (alarm → quarantine → re-infer).
+	MonitorPolicy = monitor.Policy
+	// MonitorEngine evaluates arriving batches of registered streams,
+	// keeping per-stream rolling history and drift state.
+	MonitorEngine = monitor.Engine
+	// MonitorDecision is one Check outcome: the batch verdict plus the
+	// stream's rolling state after folding it in.
+	MonitorDecision = monitor.Decision
+	// MonitorVerdict is the per-batch record retained in the history
+	// window.
+	MonitorVerdict = monitor.Verdict
+	// MonitorHistory is a snapshot of one stream's rolling state.
+	MonitorHistory = monitor.History
+	// MonitorAction is the per-batch decision kind.
+	MonitorAction = monitor.Action
+
+	// StreamInfo / StreamPutRequest / StreamCheckRequest /
+	// StreamCheckResponse / StreamListResponse are the wire types of the
+	// service's /streams endpoints.
+	StreamInfo          = service.StreamInfo
+	StreamPutRequest    = service.StreamPutRequest
+	StreamCheckRequest  = service.StreamCheckRequest
+	StreamCheckResponse = service.StreamCheckResponse
+	StreamListResponse  = service.StreamListResponse
+)
+
+// Monitor actions, in escalation order.
+const (
+	ActionAccept     = monitor.Accept
+	ActionAlarm      = monitor.Alarm
+	ActionQuarantine = monitor.Quarantine
+	ActionReinfer    = monitor.Reinfer
 )
 
 // FMDV variants (§2-§4). FMDVVH is the paper's recommended default.
@@ -217,6 +262,25 @@ func DefaultIndexShards() int { return index.DefaultShards() }
 // NewService builds the long-running validation service over a loaded
 // index. Serve its Handler with net/http (or use cmd/avserve).
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// NewStreamRegistry returns an empty stream registry.
+func NewStreamRegistry() *StreamRegistry { return registry.New() }
+
+// LoadStreamRegistry reads a registry written by StreamRegistry.Save
+// (length-prefixed, CRC-checked sections; corrupt files error rather
+// than panic).
+func LoadStreamRegistry(path string) (*StreamRegistry, error) { return registry.Load(path) }
+
+// DefaultMonitorPolicy returns the recommended continuous-validation
+// policy: drift tests at significance 0.01 against the rule's expected
+// FPR bound, quarantine after 3 consecutive alarming batches,
+// re-inference after 6 (or on the first drifting batch of a rule whose
+// index evidence went stale).
+func DefaultMonitorPolicy() MonitorPolicy { return monitor.DefaultPolicy() }
+
+// NewMonitorEngine builds a continuous-validation engine under the
+// policy (zero fields fall back to DefaultMonitorPolicy values).
+func NewMonitorEngine(p MonitorPolicy) *MonitorEngine { return monitor.NewEngine(p) }
 
 // FingerprintColumn returns the cache fingerprint the service assigns to
 // a training column under the given inference options.

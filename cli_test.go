@@ -94,6 +94,96 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAvmonitorEndToEnd drives the continuous-validation CLI: register
+// stream rules from a training day, replay a clean day (exit 0), then a
+// day whose columns drifted (exit 1 with alarms), and confirm the
+// registry file survives and re-registration bumps versions.
+func TestAvmonitorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"avgen", "avindex", "avmonitor"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(wantExit int, name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%s %v: exit %d, want %d\n%s", name, args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	lake := filepath.Join(dir, "lake")
+	run(0, "avgen", "-profile", "enterprise", "-tables", "40", "-seed", "3", "-out", lake)
+	idx := filepath.Join(dir, "lake.idx")
+	run(0, "avindex", "-corpus", lake, "-out", idx, "-tau", "8")
+
+	files, err := filepath.Glob(filepath.Join(lake, "*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("lake files: %v %v", files, err)
+	}
+	feed := files[0]
+	day1 := filepath.Join(dir, "day1")
+	day2 := filepath.Join(dir, "day2")
+	for _, d := range []string{day1, day2} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyTo := func(dst string) {
+		data, err := os.ReadFile(feed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(feed)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyTo(day1)
+	writeShuffledColumns(t, feed, filepath.Join(day2, filepath.Base(feed)))
+
+	reg := filepath.Join(dir, "rules.avr")
+	out := run(0, "avmonitor", "-index", idx, "-registry", reg, "-m", "5", "register", day1)
+	if !strings.Contains(out, "registered") || strings.Contains(out, "registered 0 ") {
+		t.Fatalf("avmonitor register output: %s", out)
+	}
+	if _, err := os.Stat(reg); err != nil {
+		t.Fatalf("registry not persisted: %v", err)
+	}
+
+	out = run(0, "avmonitor", "-index", idx, "-registry", reg, "replay", day1)
+	if !strings.Contains(out, "all batches accepted") {
+		t.Fatalf("clean replay output: %s", out)
+	}
+	out = run(1, "avmonitor", "-index", idx, "-registry", reg, "replay", day2)
+	if !strings.Contains(out, "alarm") {
+		t.Fatalf("drifted replay should alarm: %s", out)
+	}
+
+	// Re-registering appends versions rather than overwriting.
+	out = run(0, "avmonitor", "-index", idx, "-registry", reg, "-m", "5", "register", day1)
+	if !strings.Contains(out, "v2 ") {
+		t.Fatalf("re-registration should bump to v2: %s", out)
+	}
+
+	// Unknown commands and missing registries are usage/operational
+	// failures, not alarms.
+	run(2, "avmonitor", "-index", idx, "frobnicate", day1)
+	run(3, "avmonitor", "-index", idx, "-registry", filepath.Join(dir, "absent.avr"), "replay", day1)
+}
+
 // TestAvserveEndToEnd drives the serving layer the way a deployment
 // would: build an index offline, start avserve on it, infer a rule over
 // HTTP, validate a clean batch (passes) and a drifted batch (alarms),

@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig10a", "experiment id: table1|table2|table3|fig10a|fig10b|fig11|fig12a|fig12b|fig12c|fig12d|fig13|fig14|fig15|ingest|ablations|all")
+	exp := flag.String("exp", "fig10a", "experiment id: table1|table2|table3|fig10a|fig10b|fig11|fig12a|fig12b|fig12c|fig12d|fig13|fig14|fig15|ingest|monitor|ablations|all")
 	scale := flag.String("scale", "default", "default|quick")
 	flag.Parse()
 
@@ -75,6 +75,9 @@ func main() {
 		case "ingest":
 			fmt.Println("=== Incremental ingest vs full rebuild (TE + 1 table) ===")
 			fmt.Print(evalbench.FormatIngestComparison(env.IngestComparison()))
+		case "monitor":
+			fmt.Println("=== Continuous validation: day-by-day replay with injected drift ===")
+			fmt.Print(evalbench.FormatMonitor(env.MonitorExperiment(evalbench.DefaultMonitorParams())))
 		case "ablations":
 			fmt.Println("=== Ablations ===")
 			fmt.Print(evalbench.FormatAblation("FMDV vs CMDV objective", env.AblationCMDV()))
@@ -90,7 +93,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, id := range []string{"table1", "fig10a", "fig10b", "table2", "fig11",
-			"fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "table3", "fig15", "ingest", "ablations"} {
+			"fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "table3", "fig15", "ingest", "monitor", "ablations"} {
 			run(id)
 		}
 		return

@@ -1,0 +1,218 @@
+// Command avmonitor drives continuous validation from the command line:
+// it registers validation rules for every column of a training corpus
+// into a persistent registry, then replays directories of batch tables
+// (one directory per pipeline run — a "day") against those rules,
+// printing the monitor's accept / alarm / quarantine / re-infer
+// decision for every stream and batch.
+//
+// Usage:
+//
+//	avmonitor -index lake.idx -registry rules.avr register <train-dir>
+//	avmonitor -index lake.idx -registry rules.avr replay <batch-dir> [<batch-dir> ...]
+//
+// Streams are named "table.csv:column". register infers one rule per
+// column (columns with no feasible pattern are skipped with a note) and
+// saves the registry; re-running register bumps versions of existing
+// streams. replay checks each batch directory in argument order; a
+// batch whose decision escalates to re-inference re-learns the rule
+// from that batch and persists the bumped version, mirroring the
+// service's POST /streams/{name}/check.
+//
+// Exit status: 0 when every replayed batch was accepted, 1 when any
+// batch raised an alarm or was quarantined or re-inferred, 2 on usage
+// errors, 3 on operational failures (unreadable index, corpus, or
+// registry).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"autovalidate"
+	"autovalidate/internal/corpus"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/registry"
+)
+
+func main() {
+	idxPath := flag.String("index", "lake.idx", "offline index file (built by avindex)")
+	regPath := flag.String("registry", "rules.avr", "stream-rule registry file")
+	r := flag.Float64("r", 0.1, "FPR target r")
+	m := flag.Int("m", 100, "coverage target m")
+	theta := flag.Float64("theta", 0.1, "non-conforming tolerance θ")
+	alpha := flag.Float64("alpha", 0.01, "drift-test significance level")
+	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive alarming batches before quarantine")
+	reinferAfter := flag.Int("reinfer-after", 6, "consecutive alarming batches before re-inference")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: avmonitor [flags] register <train-dir>\n"+
+				"       avmonitor [flags] replay <batch-dir> [<batch-dir> ...]\n\n"+
+				"exit status: 0 all batches accepted; 1 any alarm/quarantine/re-infer;\n"+
+				"             2 usage error; 3 operational failure\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, dirs := args[0], args[1:]
+
+	idx, err := autovalidate.LoadIndex(*idxPath)
+	if err != nil {
+		fatal(err)
+	}
+	opt := autovalidate.DefaultOptions()
+	opt.R, opt.M, opt.Theta, opt.Alpha = *r, *m, *theta, *alpha
+	opt.Tau = idx.Enum.MaxTokens
+
+	switch cmd {
+	case "register":
+		if len(dirs) != 1 {
+			fmt.Fprintln(os.Stderr, "avmonitor: register takes exactly one training directory")
+			os.Exit(2)
+		}
+		if err := register(idx, *regPath, dirs[0], opt); err != nil {
+			fatal(err)
+		}
+	case "replay":
+		pol := monitor.DefaultPolicy()
+		pol.Alpha = *alpha
+		pol.QuarantineAfter = *quarantineAfter
+		pol.ReinferAfter = *reinferAfter
+		disrupted, err := replay(idx, *regPath, dirs, pol)
+		if err != nil {
+			fatal(err)
+		}
+		if disrupted {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "avmonitor: unknown command %q (want register or replay)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+// streamName derives the stream identifier for one column. Stream names
+// must be single path segments for the service's /streams/{name} routes,
+// so the separator is ":" rather than "/".
+func streamName(c *corpus.Column) string { return c.Table + ":" + c.Name }
+
+// loadOrNewRegistry opens an existing registry file, or starts empty
+// when the file does not exist yet.
+func loadOrNewRegistry(path string) (*registry.Registry, error) {
+	reg, err := registry.Load(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return registry.New(), nil
+		}
+		return nil, err
+	}
+	return reg, nil
+}
+
+func register(idx *autovalidate.Index, regPath, dir string, opt autovalidate.Options) error {
+	c, err := autovalidate.LoadCorpusDir(dir)
+	if err != nil {
+		return err
+	}
+	reg, err := loadOrNewRegistry(regPath)
+	if err != nil {
+		return err
+	}
+	registered, skipped := 0, 0
+	for _, col := range c.Columns() {
+		rule, err := autovalidate.Infer(col.Values, idx, opt)
+		if err != nil {
+			fmt.Printf("  %-32s no rule (%v)\n", streamName(col), err)
+			skipped++
+			continue
+		}
+		s, err := reg.Put(streamName(col), rule, opt, idx.Generation)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-32s v%d %s (est FPR %.4f)\n", s.Name, s.Version, rule.Pattern, rule.EstimatedFPR)
+		registered++
+	}
+	if err := reg.Save(regPath); err != nil {
+		return err
+	}
+	fmt.Printf("registered %d stream(s) (%d without a feasible pattern) -> %s\n", registered, skipped, regPath)
+	return nil
+}
+
+func replay(idx *autovalidate.Index, regPath string, dirs []string, pol monitor.Policy) (disrupted bool, err error) {
+	reg, err := registry.Load(regPath)
+	if err != nil {
+		return false, err
+	}
+	eng := monitor.NewEngine(pol)
+	reinferred := 0
+	for day, dir := range dirs {
+		batch, err := autovalidate.LoadCorpusDir(dir)
+		if err != nil {
+			return disrupted, err
+		}
+		reinferredToday := 0
+		fmt.Printf("== batch %d: %s ==\n", day+1, dir)
+		for _, col := range batch.Columns() {
+			name := streamName(col)
+			stream, ok := reg.Get(name)
+			if !ok {
+				continue // not a registered stream
+			}
+			dec, err := eng.Check(stream, col.Values)
+			if err != nil {
+				return disrupted, err
+			}
+			v := dec.Verdict
+			fmt.Printf("  %-32s %-10s %d/%d non-conforming (drift p=%.3g, ewma=%.3f)\n",
+				name, v.ActionName, v.NonConforming, v.Total, v.DriftP, dec.PassEWMA)
+			if v.Action != monitor.Accept {
+				disrupted = true
+			}
+			if v.Action == monitor.Reinfer {
+				// The drifted batch is the new normal: re-learn and
+				// bump the version, as the service's check endpoint does.
+				rule, err := autovalidate.Infer(col.Values, idx, stream.Options)
+				if err != nil {
+					fmt.Printf("  %-32s re-inference failed: %v\n", name, err)
+					continue
+				}
+				next, err := reg.Put(name, rule, stream.Options, idx.Generation)
+				if err != nil {
+					return disrupted, err
+				}
+				eng.Reset(name)
+				reinferredToday++
+				fmt.Printf("  %-32s re-inferred -> v%d %s\n", name, next.Version, rule.Pattern)
+			}
+		}
+		// Persist after every batch that re-inferred, so a failure on a
+		// later directory cannot lose rule versions already bumped.
+		if reinferredToday > 0 {
+			if err := reg.Save(regPath); err != nil {
+				return disrupted, err
+			}
+			reinferred += reinferredToday
+		}
+	}
+	if reinferred > 0 {
+		fmt.Printf("persisted %d re-inferred rule(s) -> %s\n", reinferred, regPath)
+	}
+	if !disrupted {
+		fmt.Println("all batches accepted")
+	}
+	return disrupted, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avmonitor:", err)
+	os.Exit(3)
+}

@@ -5,26 +5,40 @@
 //
 // Usage:
 //
-//	avserve -index lake.idx -addr :8077
+//	avserve -index lake.idx -addr :8077 [-registry rules.avr]
 //
 // Endpoints:
 //
-//	POST /infer     {"values": [...]}                 → rule + fingerprint
-//	POST /validate  {"fingerprint": "...", "values": [...]} → drift report
-//	POST /ingest    {"tables": [...]}                 → fold new tables into the index
-//	GET  /healthz   index summary
-//	GET  /stats     cache and traffic counters
+//	POST   /infer                  {"values": [...]}                 → rule + fingerprint
+//	POST   /validate               {"fingerprint": "...", "values": [...]} → drift report
+//	POST   /ingest                 {"tables": [...]}                 → fold new tables into the index
+//	PUT    /streams/{name}         {"train": [...]}                  → register/re-register a stream rule
+//	GET    /streams                                                  → list registered streams
+//	GET    /streams/{name}[?version=N]                               → stream rule (any version)
+//	DELETE /streams/{name}                                           → remove a stream
+//	POST   /streams/{name}/check   {"values": [...]}                 → monitor decision (accept/alarm/quarantine/reinfer)
+//	GET    /streams/{name}/history                                   → rolling batch verdicts + pass-rate EWMA
+//	GET    /healthz                index summary
+//	GET    /stats                  cache and traffic counters (JSON)
+//	GET    /metrics                Prometheus text format
 //
 // /ingest swaps the index copy-on-write, so concurrent /infer and
-// /validate requests never observe a half-merged index; pass -readonly to
-// disable it. The in-memory index grows but is not persisted — run
-// avindex -append for durable growth.
+// /validate requests never observe a half-merged index, and marks
+// registered stream rules stale (their FPR evidence predates the new
+// generation) so the monitor escalates them to re-inference on their
+// next drifting batch; pass -readonly to disable all mutating
+// endpoints. The in-memory index grows but is not persisted — run
+// avindex -append for durable growth. The stream registry, by
+// contrast, is durable when -registry is set: it is loaded at startup
+// and re-persisted after every stream mutation.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -45,7 +59,8 @@ func main() {
 	alpha := flag.Float64("alpha", 0.01, "default drift-test significance level")
 	strategy := flag.String("strategy", "FMDV-VH", "default FMDV variant (FMDV, FMDV-V, FMDV-H, FMDV-VH)")
 	shards := flag.Int("shards", 0, "reshard the loaded index (0 keeps the persisted shard count)")
-	readonly := flag.Bool("readonly", false, "disable the mutating /ingest endpoint")
+	readonly := flag.Bool("readonly", false, "disable the mutating endpoints (/ingest, stream registration)")
+	regPath := flag.String("registry", "", "stream-rule registry file (loaded at startup, persisted on mutation; empty = in-memory only)")
 	flag.Parse()
 
 	start := time.Now()
@@ -74,11 +89,27 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	var reg *autovalidate.StreamRegistry
+	if *regPath != "" {
+		reg, err = autovalidate.LoadStreamRegistry(*regPath)
+		switch {
+		case err == nil:
+			fmt.Printf("avserve: loaded %d stream(s) from %s\n", reg.Len(), *regPath)
+		case errors.Is(err, fs.ErrNotExist):
+			reg = autovalidate.NewStreamRegistry()
+			fmt.Printf("avserve: starting fresh registry at %s\n", *regPath)
+		default:
+			fatal(err)
+		}
+	}
+
 	svc, err := autovalidate.NewService(autovalidate.ServiceConfig{
-		Index:     idx,
-		Options:   &opt,
-		CacheSize: *cacheSize,
-		ReadOnly:  *readonly,
+		Index:        idx,
+		Options:      &opt,
+		CacheSize:    *cacheSize,
+		ReadOnly:     *readonly,
+		Registry:     reg,
+		RegistryPath: *regPath,
 	})
 	if err != nil {
 		fatal(err)

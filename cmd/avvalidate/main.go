@@ -5,6 +5,12 @@
 // Usage:
 //
 //	avvalidate -index lake.idx -train monday.csv -test tuesday.csv
+//
+// The exit status is the scripting contract: 0 when every validated
+// column passed, 1 when any column was flagged non-conforming (drift
+// alarm), 2 on usage errors, 3 on operational failures (unreadable
+// index or tables, or a column whose validation errored). A pipeline
+// can therefore gate a load on `avvalidate ... || abort`.
 package main
 
 import (
@@ -23,10 +29,18 @@ func main() {
 	m := flag.Int("m", 100, "coverage target m")
 	theta := flag.Float64("theta", 0.1, "non-conforming tolerance θ")
 	alpha := flag.Float64("alpha", 0.01, "drift-test significance level")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: avvalidate -index lake.idx -train monday.csv -test tuesday.csv [flags]\n\n"+
+				"exit status: 0 all validated columns passed; 1 any column ALARMED;\n"+
+				"             2 usage error; 3 operational failure\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *trainPath == "" || *testPath == "" {
 		fmt.Fprintln(os.Stderr, "avvalidate: -train and -test are required")
+		flag.Usage()
 		os.Exit(2)
 	}
 	idx, err := autovalidate.LoadIndex(*idxPath)
@@ -52,10 +66,11 @@ func main() {
 	for _, col := range testTbl.Columns {
 		cols[col.Name] = col.Values
 	}
-	alarms := 0
+	alarms, failures := 0, 0
 	for _, cr := range rules.ValidateColumns(cols) {
 		if cr.Err != nil {
 			fmt.Printf("  %-24s error: %v\n", cr.Column, cr.Err)
+			failures++
 			continue
 		}
 		fmt.Printf("  %-24s %s\n", cr.Column, cr.Report)
@@ -63,14 +78,18 @@ func main() {
 			alarms++
 		}
 	}
-	if alarms > 0 {
+	switch {
+	case alarms > 0:
 		fmt.Printf("%d column(s) ALARMED\n", alarms)
 		os.Exit(1)
+	case failures > 0:
+		fmt.Printf("%d column(s) failed to validate\n", failures)
+		os.Exit(3)
 	}
 	fmt.Println("all validated columns passed")
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "avvalidate:", err)
-	os.Exit(1)
+	os.Exit(3)
 }

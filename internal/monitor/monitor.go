@@ -1,0 +1,371 @@
+// Package monitor is the live half of continuous validation: an engine
+// that evaluates each arriving batch of a registered stream against its
+// compiled rule, keeps per-stream rolling history, and escalates from
+// accept to drift alarm to quarantine to re-inference under a
+// configurable policy.
+//
+// Two statistical signals combine per batch. The rule's own two-sample
+// homogeneity test (paper §4) compares the batch's non-conforming
+// fraction against the training distribution — that is drift relative
+// to what the rule saw at inference time. On top of it, the monitor
+// runs an exact binomial tail test of the observed non-conforming count
+// against the rule's expected FPR bound from the offline index: even a
+// rule trained on slightly dirty data should not see non-conformance
+// exceed what FMDV's evidence predicted, and the Clopper–Pearson lower
+// bound on the observed rate makes the exceedance auditable.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"autovalidate/internal/registry"
+	"autovalidate/internal/stats"
+	"autovalidate/internal/validate"
+)
+
+// Action is the monitor's per-batch decision.
+type Action uint8
+
+// Actions, in escalation order.
+const (
+	// Accept: the batch is consistent with the rule; load it.
+	Accept Action = iota
+	// Alarm: the batch drifted significantly; flag it for triage but
+	// the drift is not yet persistent.
+	Alarm
+	// Quarantine: drift has persisted for QuarantineAfter consecutive
+	// batches; hold the batch out of downstream consumption.
+	Quarantine
+	// Reinfer: the rule itself should be re-learned — either drift
+	// persisted past ReinferAfter batches (the stream's "normal" has
+	// changed) or the rule's index evidence went stale after an ingest.
+	Reinfer
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Alarm:
+		return "alarm"
+	case Quarantine:
+		return "quarantine"
+	case Reinfer:
+		return "reinfer"
+	default:
+		return "accept"
+	}
+}
+
+// Policy configures the escalation behaviour. The zero value is not
+// useful; start from DefaultPolicy.
+type Policy struct {
+	// Window is the ring-buffer capacity of per-stream batch history.
+	Window int
+	// EWMAAlpha weights the newest batch in the pass-rate EWMA.
+	EWMAAlpha float64
+	// Alpha is the significance level of the binomial drift test
+	// against the rule's expected FPR bound.
+	Alpha float64
+	// Confidence is the Clopper–Pearson confidence level reported with
+	// each verdict (e.g. 0.95).
+	Confidence float64
+	// QuarantineAfter escalates to Quarantine after this many
+	// consecutive alarming batches; ReinferAfter (>= QuarantineAfter)
+	// escalates further to Reinfer. Zero disables the respective
+	// escalation.
+	QuarantineAfter int
+	ReinferAfter    int
+	// ReinferWhenStale escalates any alarming batch on a stale rule
+	// (index evidence outdated by ingest) straight to Reinfer.
+	ReinferWhenStale bool
+	// MinBatch is the smallest batch the tests run on; smaller batches
+	// are accepted outright (too little evidence either way).
+	MinBatch int
+}
+
+// DefaultPolicy returns the recommended configuration: 64-batch
+// windows, EWMA α=0.2, drift test at 0.01 (matching the paper's
+// validation significance), quarantine after 3 consecutive alarms,
+// re-inference after 6, stale rules re-inferred on first alarm.
+func DefaultPolicy() Policy {
+	return Policy{
+		Window:           64,
+		EWMAAlpha:        0.2,
+		Alpha:            0.01,
+		Confidence:       0.95,
+		QuarantineAfter:  3,
+		ReinferAfter:     6,
+		ReinferWhenStale: true,
+		MinBatch:         8,
+	}
+}
+
+// Verdict is the record of one checked batch.
+type Verdict struct {
+	// Seq numbers the batch within its stream (1-based, monotonically
+	// increasing across the stream's lifetime, not just the window).
+	Seq int `json:"seq"`
+	// StreamVersion is the rule version the batch was checked against.
+	StreamVersion int `json:"stream_version"`
+	// Total and NonConforming count the batch's values.
+	Total         int `json:"total"`
+	NonConforming int `json:"non_conforming"`
+	// PValue is the §4 homogeneity test p-value vs the training
+	// distribution; DriftP the binomial tail p-value vs the rule's
+	// expected FPR bound; RateLo the Clopper–Pearson lower confidence
+	// bound on the observed non-conforming rate.
+	PValue float64 `json:"p_value"`
+	DriftP float64 `json:"drift_p"`
+	RateLo float64 `json:"rate_lo"`
+	// Action is the decision taken on the batch.
+	Action Action `json:"-"`
+	// ActionName is Action's string form (for JSON consumers).
+	ActionName string `json:"action"`
+	// Examples holds a few non-conforming values for triage.
+	Examples []string `json:"examples,omitempty"`
+}
+
+// Decision is the outcome of one Check call: the batch's verdict plus
+// the stream-level rolling state after folding it in.
+type Decision struct {
+	Verdict Verdict `json:"verdict"`
+	// PassEWMA is the exponentially weighted moving average of per-batch
+	// pass rates after this batch.
+	PassEWMA float64 `json:"pass_ewma"`
+	// ConsecutiveAlarms counts the current run of non-accept batches.
+	ConsecutiveAlarms int `json:"consecutive_alarms"`
+	// Stale mirrors the stream's staleness at check time.
+	Stale bool `json:"stale"`
+}
+
+// History is a snapshot of one stream's rolling state.
+type History struct {
+	Stream        string  `json:"stream"`
+	Batches       int     `json:"batches"`
+	Values        int     `json:"values"`
+	NonConforming int     `json:"non_conforming"`
+	Alarms        int     `json:"alarms"`
+	Quarantined   int     `json:"quarantined"`
+	Reinfers      int     `json:"reinfers"`
+	PassEWMA      float64 `json:"pass_ewma"`
+	ConsecAlarms  int     `json:"consecutive_alarms"`
+	// Window holds the retained verdicts, oldest first.
+	Window []Verdict `json:"window"`
+}
+
+// streamState is the per-stream rolling state: a ring buffer of
+// verdicts plus running aggregates.
+type streamState struct {
+	ring   []Verdict // capacity Policy.Window
+	head   int       // next write position
+	filled bool
+
+	seq           int
+	values        int
+	nonConforming int
+	alarms        int
+	quarantined   int
+	reinfers      int
+	ewma          float64
+	consec        int
+}
+
+// push appends a verdict to the ring buffer.
+func (st *streamState) push(v Verdict, window int) {
+	if len(st.ring) < window {
+		st.ring = append(st.ring, v)
+		return
+	}
+	st.ring[st.head] = v
+	st.head = (st.head + 1) % len(st.ring)
+	st.filled = true
+}
+
+// snapshot returns the retained verdicts oldest-first.
+func (st *streamState) snapshot() []Verdict {
+	if !st.filled {
+		return append([]Verdict(nil), st.ring...)
+	}
+	out := make([]Verdict, 0, len(st.ring))
+	out = append(out, st.ring[st.head:]...)
+	out = append(out, st.ring[:st.head]...)
+	return out
+}
+
+// Engine evaluates batches for registered streams. Safe for concurrent
+// use; per-stream state updates are serialized, while the pattern
+// matching itself runs outside any lock.
+type Engine struct {
+	policy Policy
+
+	mu      sync.Mutex
+	streams map[string]*streamState
+}
+
+// NewEngine builds an engine under the given policy (zero fields fall
+// back to DefaultPolicy values).
+func NewEngine(p Policy) *Engine {
+	def := DefaultPolicy()
+	if p.Window <= 0 {
+		p.Window = def.Window
+	}
+	if p.EWMAAlpha <= 0 || p.EWMAAlpha > 1 {
+		p.EWMAAlpha = def.EWMAAlpha
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		p.Alpha = def.Alpha
+	}
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		p.Confidence = def.Confidence
+	}
+	if p.MinBatch < 1 {
+		p.MinBatch = def.MinBatch
+	}
+	if p.ReinferAfter > 0 && p.QuarantineAfter > 0 && p.ReinferAfter < p.QuarantineAfter {
+		p.ReinferAfter = p.QuarantineAfter
+	}
+	return &Engine{policy: p, streams: make(map[string]*streamState)}
+}
+
+// Policy returns the engine's effective (defaulted) policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// fprBound is the expected non-conforming bound the binomial drift test
+// runs against: the worse of the rule's index-estimated FPR and its
+// training-time non-conforming rate, floored at a tiny rate so a
+// perfectly clean training column doesn't alarm on a single stray value
+// in a huge batch.
+func fprBound(rule *validate.Rule) float64 {
+	bound := rule.EstimatedFPR
+	if t := rule.TrainTheta(); t > bound {
+		bound = t
+	}
+	const floor = 1e-4
+	if bound < floor {
+		bound = floor
+	}
+	return bound
+}
+
+// Check evaluates one batch of the stream against its rule and folds
+// the verdict into the stream's rolling history. The stream snapshot
+// comes from the registry; Check never mutates it.
+func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error) {
+	if stream.Rule == nil {
+		return Decision{}, fmt.Errorf("monitor: stream %q has no rule", stream.Name)
+	}
+	if len(values) == 0 {
+		return Decision{}, fmt.Errorf("monitor: stream %q: %w", stream.Name, validate.ErrEmptyBatch)
+	}
+
+	// Pattern matching and the homogeneity test run lock-free.
+	rep, err := stream.Rule.Validate(values)
+	if err != nil {
+		return Decision{}, fmt.Errorf("monitor: stream %q: %w", stream.Name, err)
+	}
+	bound := fprBound(stream.Rule)
+	driftP := stats.BinomialTailP(rep.NonConforming, rep.Total, bound)
+	rateLo, _ := stats.ClopperPearson(rep.NonConforming, rep.Total, e.policy.Confidence)
+
+	small := rep.Total < e.policy.MinBatch
+	alarmed := !small && (rep.Alarm || driftP < e.policy.Alpha)
+
+	v := Verdict{
+		StreamVersion: stream.Version,
+		Total:         rep.Total,
+		NonConforming: rep.NonConforming,
+		PValue:        rep.PValue,
+		DriftP:        driftP,
+		RateLo:        rateLo,
+		Examples:      rep.Examples,
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.streams[stream.Name]
+	if st == nil {
+		st = &streamState{}
+		e.streams[stream.Name] = st
+	}
+	st.seq++
+	v.Seq = st.seq
+
+	if alarmed {
+		st.consec++
+	} else {
+		st.consec = 0
+	}
+	switch {
+	case alarmed && e.policy.ReinferWhenStale && stream.Stale:
+		v.Action = Reinfer
+	case alarmed && e.policy.ReinferAfter > 0 && st.consec >= e.policy.ReinferAfter:
+		v.Action = Reinfer
+	case alarmed && e.policy.QuarantineAfter > 0 && st.consec >= e.policy.QuarantineAfter:
+		v.Action = Quarantine
+	case alarmed:
+		v.Action = Alarm
+	default:
+		v.Action = Accept
+	}
+	v.ActionName = v.Action.String()
+
+	passRate := 1 - float64(rep.NonConforming)/float64(rep.Total)
+	if st.seq == 1 {
+		st.ewma = passRate
+	} else {
+		st.ewma = e.policy.EWMAAlpha*passRate + (1-e.policy.EWMAAlpha)*st.ewma
+	}
+	st.values += rep.Total
+	st.nonConforming += rep.NonConforming
+	switch v.Action {
+	case Alarm:
+		st.alarms++
+	case Quarantine:
+		st.alarms++
+		st.quarantined++
+	case Reinfer:
+		st.alarms++
+		st.reinfers++
+	}
+	st.push(v, e.policy.Window)
+
+	return Decision{
+		Verdict:           v,
+		PassEWMA:          st.ewma,
+		ConsecutiveAlarms: st.consec,
+		Stale:             stream.Stale,
+	}, nil
+}
+
+// Reset drops the rolling state of one stream — called when its rule is
+// re-inferred, since history accumulated under the old rule no longer
+// describes the new one.
+func (e *Engine) Reset(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.streams, name)
+}
+
+// History snapshots one stream's rolling state; ok is false when the
+// stream has never been checked.
+func (e *Engine) History(name string) (History, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.streams[name]
+	if st == nil {
+		return History{Stream: name}, false
+	}
+	return History{
+		Stream:        name,
+		Batches:       st.seq,
+		Values:        st.values,
+		NonConforming: st.nonConforming,
+		Alarms:        st.alarms,
+		Quarantined:   st.quarantined,
+		Reinfers:      st.reinfers,
+		PassEWMA:      st.ewma,
+		ConsecAlarms:  st.consec,
+		Window:        st.snapshot(),
+	}, true
+}

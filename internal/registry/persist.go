@@ -1,0 +1,242 @@
+package registry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/validate"
+)
+
+// The on-disk layout mirrors the index's sharded format: a magic string,
+// a length-prefixed JSON header, then one length-prefixed, CRC-32C
+// checksummed section per stream:
+//
+//	magic "AVREG1\n" | uint32 header length | header JSON
+//	per stream: uint32 payload length | uint32 CRC-32C | payload JSON
+//
+// so truncation or bit rot is reported as a per-section error instead of
+// a panic mid-decode, and a partially written file can never be mistaken
+// for a good one. Payloads are JSON rather than gob because a Rule
+// already defines a canonical JSON form (patterns serialize in the
+// pattern notation and are re-parsed on load, which re-validates them).
+
+var regMagic = []byte("AVREG1\n")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// headerFile is the file header section.
+type headerFile struct {
+	NumStreams int `json:"num_streams"`
+}
+
+// versionFile is one persisted stream version.
+type versionFile struct {
+	Version         int            `json:"version"`
+	Rule            *validate.Rule `json:"rule"`
+	Options         core.Options   `json:"options"`
+	IndexGeneration uint64         `json:"index_generation"`
+	Stale           bool           `json:"stale,omitempty"`
+}
+
+// streamFile is one stream's section: the whole version history.
+type streamFile struct {
+	Name     string        `json:"name"`
+	Versions []versionFile `json:"versions"`
+}
+
+// maxSection bounds a single section read so a corrupt length prefix
+// cannot drive a huge allocation; a rule history is kilobytes, not
+// gigabytes.
+const maxSection = 64 << 20
+
+// Save writes the registry to path atomically (temp sibling + rename):
+// an interrupted save never truncates an existing good file. Streams are
+// written in sorted name order so identical registries produce identical
+// bytes.
+func (r *Registry) Save(path string) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.streams))
+	for name := range r.streams {
+		names = append(names, name)
+	}
+	sections := make(map[string][]byte, len(names))
+	for name, rec := range r.streams {
+		sf := streamFile{Name: name}
+		for _, v := range rec.versions {
+			sf.Versions = append(sf.Versions, versionFile{
+				Version:         v.Version,
+				Rule:            v.Rule,
+				Options:         v.Options,
+				IndexGeneration: v.IndexGeneration,
+				Stale:           v.Stale,
+			})
+		}
+		payload, err := json.Marshal(&sf)
+		if err != nil {
+			r.mu.RUnlock()
+			return fmt.Errorf("registry: encoding stream %q: %w", name, err)
+		}
+		sections[name] = payload
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	head, err := json.Marshal(headerFile{NumStreams: len(names)})
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		if _, err := w.Write(regMagic); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(head))); err != nil {
+			return err
+		}
+		if _, err := w.Write(head); err != nil {
+			return err
+		}
+		for _, name := range names {
+			payload := sections[name]
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, crc32.Checksum(payload, castagnoli)); err != nil {
+				return err
+			}
+			if _, err := w.Write(payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Load reads a registry written by Save. Corrupt files — bad magic,
+// truncated sections, checksum mismatches, undecodable payloads,
+// inconsistent version numbering — return errors; Load never panics.
+func Load(path string) (*Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	defer f.Close()
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("registry: %s is corrupt: %s", path, fmt.Sprintf(format, args...))
+	}
+	br := bufio.NewReader(f)
+
+	magic := make([]byte, len(regMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, corrupt("short magic: %v", err)
+	}
+	if !bytes.Equal(magic, regMagic) {
+		return nil, fmt.Errorf("registry: %s is not a registry file (bad magic)", path)
+	}
+	var headLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &headLen); err != nil {
+		return nil, corrupt("missing header length: %v", err)
+	}
+	if headLen == 0 || headLen > maxSection {
+		return nil, corrupt("implausible header length %d", headLen)
+	}
+	headBuf := make([]byte, headLen)
+	if _, err := io.ReadFull(br, headBuf); err != nil {
+		return nil, corrupt("truncated header: %v", err)
+	}
+	var head headerFile
+	if err := json.Unmarshal(headBuf, &head); err != nil {
+		return nil, corrupt("undecodable header: %v", err)
+	}
+	if head.NumStreams < 0 || head.NumStreams > 1<<24 {
+		return nil, corrupt("implausible stream count %d", head.NumStreams)
+	}
+
+	reg := New()
+	for s := 0; s < head.NumStreams; s++ {
+		var payloadLen, sum uint32
+		if err := binary.Read(br, binary.LittleEndian, &payloadLen); err != nil {
+			return nil, corrupt("truncated at stream %d length: %v", s, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+			return nil, corrupt("truncated at stream %d checksum: %v", s, err)
+		}
+		if payloadLen == 0 || payloadLen > maxSection {
+			return nil, corrupt("implausible stream %d length %d", s, payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, corrupt("truncated stream %d: %v", s, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != sum {
+			return nil, corrupt("stream %d checksum mismatch (%08x != %08x)", s, got, sum)
+		}
+		var sf streamFile
+		if err := json.Unmarshal(payload, &sf); err != nil {
+			return nil, corrupt("undecodable stream %d: %v", s, err)
+		}
+		if sf.Name == "" || len(sf.Versions) == 0 {
+			return nil, corrupt("stream %d has no name or no versions", s)
+		}
+		if _, dup := reg.streams[sf.Name]; dup {
+			return nil, corrupt("duplicate stream %q", sf.Name)
+		}
+		rec := &record{versions: make([]Stream, 0, len(sf.Versions))}
+		for i, v := range sf.Versions {
+			if v.Version != i+1 {
+				return nil, corrupt("stream %q version %d out of order (want %d)", sf.Name, v.Version, i+1)
+			}
+			if v.Rule == nil {
+				return nil, corrupt("stream %q version %d has no rule", sf.Name, v.Version)
+			}
+			rec.versions = append(rec.versions, Stream{
+				Name:            sf.Name,
+				Version:         v.Version,
+				Rule:            v.Rule,
+				Options:         v.Options,
+				IndexGeneration: v.IndexGeneration,
+				Stale:           v.Stale,
+			})
+		}
+		reg.streams[sf.Name] = rec
+	}
+	return reg, nil
+}
+
+// writeAtomic writes a file via a temp sibling and rename (the same
+// discipline as the index's persistence).
+func writeAtomic(path string, write func(w *bufio.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: writing %s: %w", path, err)
+	}
+	if err := write(w); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: %w", err)
+	}
+	return nil
+}

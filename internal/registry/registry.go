@@ -1,0 +1,179 @@
+// Package registry is the durable half of continuous validation: a
+// versioned, persistent store of named streams and their compiled
+// validation rules. The paper's deployment story (§6) is not one-shot
+// validation but recurring pipelines — a rule is inferred once and then
+// checks every fresh batch of the same stream — so the rule needs a
+// durable home keyed by a stable stream name, a version history (a
+// re-inference bumps the version; old versions stay readable for audit),
+// and an invalidation signal when the offline index the rule's evidence
+// came from moves on (a POST /ingest bumps the index generation; rules
+// inferred against older generations are marked stale).
+//
+// The registry is safe for concurrent use: lookups return snapshot
+// copies, so a reader can never observe a half-applied update.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/validate"
+)
+
+// Stream is one version of one named stream's compiled validation rule,
+// together with the evidence snapshot needed to audit and re-infer it.
+type Stream struct {
+	// Name is the stream's stable identifier (e.g. "sales.csv/locale").
+	Name string
+	// Version counts re-inferences, starting at 1. Registering over an
+	// existing stream appends a new version; old versions stay readable.
+	Version int
+	// Rule is the compiled validation rule: the data-domain pattern, its
+	// estimated FPR from the offline index (FMDV's evidence snapshot),
+	// and the training non-conforming statistics of the drift test.
+	Rule *validate.Rule
+	// Options are the inference parameters the rule was produced with,
+	// kept so re-inference after drift uses the same configuration.
+	Options core.Options
+	// IndexGeneration is the offline index's generation counter at
+	// inference time — the provenance of the rule's FPR evidence.
+	IndexGeneration uint64
+	// Stale is set when the index has ingested new evidence since this
+	// rule was inferred (its FPR snapshot no longer reflects the lake).
+	// A stale rule still validates; the monitor escalates it to
+	// re-inference.
+	Stale bool
+}
+
+// record is the registry's internal per-name state: the full version
+// history, last entry latest.
+type record struct {
+	versions []Stream
+}
+
+// Registry is a concurrent-safe, versioned store of named streams.
+// The zero value is not usable; call New or Load.
+type Registry struct {
+	mu      sync.RWMutex
+	streams map[string]*record
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{streams: make(map[string]*record)}
+}
+
+// Put registers (or re-registers) a stream: the rule is appended as a
+// new version inferred at index generation gen, and the new version's
+// snapshot is returned. A nil rule or empty name is an error.
+func (r *Registry) Put(name string, rule *validate.Rule, opt core.Options, gen uint64) (Stream, error) {
+	if name == "" {
+		return Stream{}, fmt.Errorf("registry: empty stream name")
+	}
+	if rule == nil {
+		return Stream{}, fmt.Errorf("registry: nil rule for stream %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.streams[name]
+	if rec == nil {
+		rec = &record{}
+		r.streams[name] = rec
+	}
+	s := Stream{
+		Name:            name,
+		Version:         len(rec.versions) + 1,
+		Rule:            rule,
+		Options:         opt,
+		IndexGeneration: gen,
+	}
+	rec.versions = append(rec.versions, s)
+	return s, nil
+}
+
+// Get returns a snapshot of the latest version of the named stream.
+func (r *Registry) Get(name string) (Stream, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec := r.streams[name]
+	if rec == nil || len(rec.versions) == 0 {
+		return Stream{}, false
+	}
+	return rec.versions[len(rec.versions)-1], true
+}
+
+// GetVersion returns a snapshot of one historical version (1-based).
+func (r *Registry) GetVersion(name string, version int) (Stream, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec := r.streams[name]
+	if rec == nil || version < 1 || version > len(rec.versions) {
+		return Stream{}, false
+	}
+	return rec.versions[version-1], true
+}
+
+// Versions returns how many versions the named stream has (0 if absent).
+func (r *Registry) Versions(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec := r.streams[name]
+	if rec == nil {
+		return 0
+	}
+	return len(rec.versions)
+}
+
+// Delete removes a stream and its whole version history, reporting
+// whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.streams[name]
+	delete(r.streams, name)
+	return ok
+}
+
+// Names returns the registered stream names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.streams))
+	for name := range r.streams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered streams.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.streams)
+}
+
+// MarkStale flags every stream whose latest version was inferred before
+// the given index generation. The serving layer calls this in the same
+// critical section as its copy-on-write index swap: new evidence can
+// change which pattern FMDV would select, so rules inferred against the
+// old index no longer carry a trustworthy FPR snapshot. It returns the
+// number of streams newly marked.
+func (r *Registry) MarkStale(currentGen uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	marked := 0
+	for _, rec := range r.streams {
+		if len(rec.versions) == 0 {
+			continue
+		}
+		latest := &rec.versions[len(rec.versions)-1]
+		if !latest.Stale && latest.IndexGeneration < currentGen {
+			latest.Stale = true
+			marked++
+		}
+	}
+	return marked
+}

@@ -13,6 +13,12 @@ type ruleLRU struct {
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+
+	// hits / misses / evictions count cache behaviour over the cache's
+	// lifetime (clear does not reset them); exposed on GET /metrics.
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type lruEntry struct {
@@ -35,8 +41,10 @@ func newRuleLRU(capacity int) *ruleLRU {
 func (c *ruleLRU) get(key string) (*validate.Rule, bool) {
 	el, ok := c.items[key]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).rule, true
 }
@@ -54,6 +62,7 @@ func (c *ruleLRU) add(key string, rule *validate.Rule) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
 	}
 }
 

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the serving counters in the Prometheus text
+// exposition format (version 0.0.4), hand-written rather than pulled in
+// as a client library dependency — the format is a dozen lines of
+// name/value pairs.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cacheSize := s.cache.len()
+	cacheCap := s.cache.cap
+	hits := s.cache.hits
+	misses := s.cache.misses
+	evictions := s.cache.evictions
+	s.mu.Unlock()
+	idx := s.idx.Load()
+
+	var sb strings.Builder
+	counter := func(name, help string, value uint64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+	gauge := func(name, help string, value float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+	}
+
+	counter("autovalidate_cache_hits_total", "Rule-cache hits.", hits)
+	counter("autovalidate_cache_misses_total", "Rule-cache misses.", misses)
+	counter("autovalidate_cache_evictions_total", "Rule-cache LRU evictions.", evictions)
+	gauge("autovalidate_cache_entries", "Rules currently cached.", float64(cacheSize))
+	gauge("autovalidate_cache_capacity", "Rule-cache capacity.", float64(cacheCap))
+	gauge("autovalidate_index_generation", "Offline index ingest-batch generation.", float64(idx.Generation))
+	gauge("autovalidate_index_patterns", "Patterns in the offline index.", float64(idx.Size()))
+	gauge("autovalidate_index_columns", "Corpus columns aggregated into the index.", float64(idx.Columns))
+	counter("autovalidate_ingests_total", "Ingest batches folded into the index.", s.ingests.Load())
+	gauge("autovalidate_streams", "Streams registered for continuous validation.", float64(s.registry.Len()))
+	gauge("autovalidate_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	const reqName = "autovalidate_http_requests_total"
+	fmt.Fprintf(&sb, "# HELP %s Requests served, by route.\n# TYPE %s counter\n", reqName, reqName)
+	patterns := make([]string, 0, len(s.endpoints))
+	for route := range s.endpoints {
+		patterns = append(patterns, route)
+	}
+	sort.Strings(patterns)
+	for _, route := range patterns {
+		fmt.Fprintf(&sb, "%s{endpoint=%q} %d\n", reqName, route, s.endpoints[route].Load())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, sb.String())
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"autovalidate/internal/core"
+)
+
+// scrape fetches /metrics and returns the body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample's value from the exposition text.
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(sample) + " ([0-9eE.+-]+)$")
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("sample %q not found in:\n%s", sample, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("sample %q value %q: %v", sample, m[1], err)
+	}
+	return v
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.M = 5
+	srv, err := New(Config{Index: testIndex(t).Clone(), Options: &opt, CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Three distinct inferences through a 2-entry cache: 3 misses, then
+	// 1 hit on a still-resident rule, and at least one eviction.
+	domains := []string{"timestamp_us", "locale", "guid"}
+	for i, d := range domains {
+		req := InferRequest{Values: trainValues(t, d, 60, int64(40+i))}
+		if code := post(t, ts, "/infer", req, nil); code != http.StatusOK {
+			t.Fatalf("/infer %s: status %d", d, code)
+		}
+	}
+	if code := post(t, ts, "/infer", InferRequest{Values: trainValues(t, "guid", 60, 42)}, nil); code != http.StatusOK {
+		t.Fatal("repeat infer failed")
+	}
+
+	body := scrape(t, ts)
+	if hits := metricValue(t, body, "autovalidate_cache_hits_total"); hits != 1 {
+		t.Errorf("cache hits = %g, want 1", hits)
+	}
+	if misses := metricValue(t, body, "autovalidate_cache_misses_total"); misses != 3 {
+		t.Errorf("cache misses = %g, want 3", misses)
+	}
+	if ev := metricValue(t, body, "autovalidate_cache_evictions_total"); ev < 1 {
+		t.Errorf("cache evictions = %g, want >= 1", ev)
+	}
+	if gen := metricValue(t, body, "autovalidate_index_generation"); gen != 0 {
+		t.Errorf("index generation = %g, want 0", gen)
+	}
+	if n := metricValue(t, body, `autovalidate_http_requests_total{endpoint="POST /infer"}`); n != 4 {
+		t.Errorf("POST /infer requests = %g, want 4", n)
+	}
+	// Scrapes count themselves (the counter bumps before rendering), so
+	// the second scrape reports 2.
+	body = scrape(t, ts)
+	if n := metricValue(t, body, `autovalidate_http_requests_total{endpoint="GET /metrics"}`); n != 2 {
+		t.Errorf("GET /metrics requests = %g, want 2", n)
+	}
+
+	// Ingest and stream registration move the gauges.
+	var ing IngestResponse
+	if code := post(t, ts, "/ingest", ingestBatch("locale", 50, 31, t), &ing); code != http.StatusOK {
+		t.Fatalf("/ingest: status %d", code)
+	}
+	if code := do(t, ts, "PUT", "/streams/m", StreamPutRequest{Train: trainValues(t, "guid", 80, 9)}, nil); code != http.StatusOK {
+		t.Fatalf("PUT stream: status %d", code)
+	}
+	body = scrape(t, ts)
+	if gen := metricValue(t, body, "autovalidate_index_generation"); gen != 1 {
+		t.Errorf("post-ingest generation = %g, want 1", gen)
+	}
+	if n := metricValue(t, body, "autovalidate_ingests_total"); n != 1 {
+		t.Errorf("ingests = %g, want 1", n)
+	}
+	if n := metricValue(t, body, "autovalidate_streams"); n != 1 {
+		t.Errorf("streams = %g, want 1", n)
+	}
+
+	// Every declared route appears with a counter.
+	for _, route := range routes {
+		if !strings.Contains(body, `endpoint="`+route+`"`) {
+			t.Errorf("route %q missing from /metrics", route)
+		}
+	}
+}

@@ -11,6 +11,15 @@
 // index pointer they loaded, so they never observe a half-merged index,
 // and the rule cache is invalidated atomically with the swap because any
 // changed pattern evidence can alter which pattern FMDV selects.
+//
+// On top of the stateless endpoints sits continuous validation (§6's
+// recurring-pipeline deployment): named streams registered under
+// /streams/{name} get durable rules in a versioned registry
+// (internal/registry), each posted batch is judged by the drift monitor
+// (internal/monitor) with accept/alarm/quarantine/re-infer decisions,
+// and an ingest that advances the index generation marks affected
+// stream rules stale so they re-infer on their next drifting batch.
+// GET /metrics exposes the serving counters in Prometheus text format.
 package service
 
 import (
@@ -29,6 +38,8 @@ import (
 	"autovalidate/internal/core"
 	"autovalidate/internal/corpus"
 	"autovalidate/internal/index"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/registry"
 	"autovalidate/internal/validate"
 )
 
@@ -46,8 +57,19 @@ type Config struct {
 	CacheSize int
 	// MaxIngestBody caps /ingest request bodies in bytes (0 = 64 MiB).
 	MaxIngestBody int64
-	// ReadOnly disables the mutating /ingest endpoint.
+	// ReadOnly disables the mutating endpoints: /ingest, stream
+	// registration/deletion, and the automatic re-inference of
+	// /streams/{name}/check.
 	ReadOnly bool
+	// Registry is the stream registry served under /streams; nil starts
+	// an empty in-memory one.
+	Registry *registry.Registry
+	// RegistryPath, when set, persists the registry there after every
+	// mutation (stream put/delete, re-inference, ingest invalidation).
+	RegistryPath string
+	// Monitor configures the continuous-validation engine; nil uses
+	// monitor.DefaultPolicy.
+	Monitor *monitor.Policy
 }
 
 // Server is a long-running validation service over one offline index.
@@ -67,10 +89,21 @@ type Server struct {
 	// the same base and lose each other's columns.
 	ingestMu sync.Mutex
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// registry and mon are the continuous-validation subsystem: named
+	// streams with durable rules, and their rolling drift state.
+	// regMu serializes registry mutations with their persistence so two
+	// writers cannot interleave a stale save over a fresh one.
+	registry *registry.Registry
+	regPath  string
+	mon      *monitor.Engine
+	regMu    sync.Mutex
+
 	ingests atomic.Uint64
 	start   time.Time
+
+	// endpoints maps route patterns to request counters; the map is
+	// fixed at construction, so lock-free reads are safe.
+	endpoints map[string]*atomic.Uint64
 }
 
 // New builds a server from a loaded index.
@@ -92,15 +125,47 @@ func New(cfg Config) (*Server, error) {
 	if maxIngest <= 0 {
 		maxIngest = maxBody
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = registry.New()
+	}
+	pol := monitor.DefaultPolicy()
+	if cfg.Monitor != nil {
+		pol = *cfg.Monitor
+	}
 	s := &Server{
 		opt:       opt,
 		maxIngest: maxIngest,
 		readOnly:  cfg.ReadOnly,
 		cache:     newRuleLRU(size),
+		registry:  reg,
+		regPath:   cfg.RegistryPath,
+		mon:       monitor.NewEngine(pol),
 		start:     time.Now(),
+		endpoints: make(map[string]*atomic.Uint64),
+	}
+	for _, route := range routes {
+		s.endpoints[route] = &atomic.Uint64{}
 	}
 	s.idx.Store(cfg.Index)
 	return s, nil
+}
+
+// routes lists every route pattern the handler can serve; /metrics
+// reports a request counter per entry.
+var routes = []string{
+	"POST /infer",
+	"POST /validate",
+	"POST /ingest",
+	"GET /healthz",
+	"GET /stats",
+	"GET /metrics",
+	"GET /streams",
+	"PUT /streams/{name}",
+	"GET /streams/{name}",
+	"DELETE /streams/{name}",
+	"POST /streams/{name}/check",
+	"GET /streams/{name}/history",
 }
 
 // maxBody caps request bodies; a validation batch of a million short
@@ -110,13 +175,27 @@ const maxBody = 64 << 20
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /infer", s.handleInfer)
-	mux.HandleFunc("POST /validate", s.handleValidate)
-	if !s.readOnly {
-		mux.HandleFunc("POST /ingest", s.handleIngest)
+	handle := func(route string, h http.HandlerFunc) {
+		counter := s.endpoints[route]
+		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			counter.Add(1)
+			h(w, r)
+		})
 	}
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	handle("POST /infer", s.handleInfer)
+	handle("POST /validate", s.handleValidate)
+	if !s.readOnly {
+		handle("POST /ingest", s.handleIngest)
+		handle("PUT /streams/{name}", s.handleStreamPut)
+		handle("DELETE /streams/{name}", s.handleStreamDelete)
+	}
+	handle("GET /streams", s.handleStreamList)
+	handle("GET /streams/{name}", s.handleStreamGet)
+	handle("POST /streams/{name}/check", s.handleStreamCheck)
+	handle("GET /streams/{name}/history", s.handleStreamHistory)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /stats", s.handleStats)
+	handle("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -241,10 +320,8 @@ func (s *Server) inferCached(values []string, opt core.Options) (fp string, rule
 	rule, ok := s.cache.get(fp)
 	s.mu.Unlock()
 	if ok {
-		s.hits.Add(1)
 		return fp, rule, true, nil
 	}
-	s.misses.Add(1)
 	rule, err = core.Infer(values, idx, opt)
 	if err != nil {
 		return fp, nil, false, err
@@ -284,6 +361,14 @@ type IngestResponse struct {
 	IndexPatterns int `json:"index_patterns"`
 	// Generation is the index's post-ingest generation counter.
 	Generation uint64 `json:"generation"`
+	// StreamsInvalidated counts registered streams whose rules were
+	// marked stale by this ingest: their FPR evidence predates the new
+	// index generation, so the monitor will escalate them to
+	// re-inference on their next drifting batch.
+	StreamsInvalidated int `json:"streams_invalidated"`
+	// RegistryPersistWarning is set when the post-invalidation registry
+	// save failed; the in-memory registry is still correct.
+	RegistryPersistWarning string `json:"registry_persist_warning,omitempty"`
 }
 
 // ingestColumns validates an ingest request and flattens it into corpus
@@ -330,12 +415,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.cache.clear()
 	s.mu.Unlock()
 	s.ingests.Add(1)
+	// Stream rules carry FPR evidence from the pre-ingest index; mark
+	// them stale under the same ingestMu so a concurrent PUT cannot
+	// slip an outdated-but-fresh-looking rule past the invalidation.
+	invalidated := s.registry.MarkStale(next.Generation)
+	warning := ""
+	if invalidated > 0 {
+		if err := s.persistRegistry(); err != nil {
+			warning = err.Error()
+		}
+	}
 
 	writeJSON(w, http.StatusOK, IngestResponse{
-		ColumnsIngested: len(cols),
-		IndexColumns:    next.Columns,
-		IndexPatterns:   next.Size(),
-		Generation:      next.Generation,
+		ColumnsIngested:        len(cols),
+		IndexColumns:           next.Columns,
+		IndexPatterns:          next.Size(),
+		Generation:             next.Generation,
+		StreamsInvalidated:     invalidated,
+		RegistryPersistWarning: warning,
 	})
 }
 
@@ -378,10 +475,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		cached, ok := s.cache.get(req.Fingerprint)
 		s.mu.Unlock()
 		if ok {
-			s.hits.Add(1)
 			rule, resp.Fingerprint, resp.Cached = cached, req.Fingerprint, true
 		} else if len(req.Train) == 0 {
-			s.misses.Add(1)
 			writeError(w, http.StatusNotFound,
 				"unknown fingerprint (evicted or never inferred); resend with train values")
 			return
@@ -437,14 +532,21 @@ type Stats struct {
 	CacheCapacity   int     `json:"cache_capacity"`
 	CacheHits       uint64  `json:"cache_hits"`
 	CacheMisses     uint64  `json:"cache_misses"`
+	CacheEvictions  uint64  `json:"cache_evictions"`
+	Streams         int     `json:"streams"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 }
 
 // CurrentStats snapshots the serving counters.
 func (s *Server) CurrentStats() Stats {
+	// The LRU's own counters are the single source of cache statistics:
+	// /stats and /metrics read the same numbers.
 	s.mu.Lock()
 	size := s.cache.len()
 	capacity := s.cache.cap
+	hits := s.cache.hits
+	misses := s.cache.misses
+	evictions := s.cache.evictions
 	s.mu.Unlock()
 	idx := s.idx.Load()
 	return Stats{
@@ -455,8 +557,10 @@ func (s *Server) CurrentStats() Stats {
 		Ingests:         s.ingests.Load(),
 		CacheSize:       size,
 		CacheCapacity:   capacity,
-		CacheHits:       s.hits.Load(),
-		CacheMisses:     s.misses.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		Streams:         s.registry.Len(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 }

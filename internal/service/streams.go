@@ -1,0 +1,273 @@
+package service
+
+// The /streams endpoints are the service face of continuous validation
+// (the paper's §6 deployment story): a stream is registered once with
+// its training column, the inferred rule lands in the durable registry,
+// and every future batch of the same stream is checked against it with
+// drift alarms, quarantine, and automatic re-inference per the
+// monitor's policy. Registry mutations persist to the configured
+// registry path under regMu, so two writers cannot interleave a stale
+// save over a fresh one.
+//
+// Stream names are single path segments (no "/"); pipelines deriving a
+// name from table/column pairs should join them with another separator
+// (avmonitor uses "table.csv:column").
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/registry"
+	"autovalidate/internal/validate"
+)
+
+// Registry returns the server's stream registry (for embedding callers).
+func (s *Server) Registry() *registry.Registry { return s.registry }
+
+// Monitor returns the server's continuous-validation engine.
+func (s *Server) Monitor() *monitor.Engine { return s.mon }
+
+// persistRegistry saves the registry to the configured path, if any.
+// Callers hold regMu (or, for ingest invalidation, ingestMu — the two
+// paths both take regMu here).
+func (s *Server) persistRegistry() error {
+	if s.regPath == "" {
+		return nil
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	return s.registry.Save(s.regPath)
+}
+
+// StreamPutRequest registers (or re-registers) a stream from a training
+// column.
+type StreamPutRequest struct {
+	// Train is the training column the rule is inferred from.
+	Train []string `json:"train"`
+	RuleParams
+}
+
+// StreamInfo describes one version of a registered stream.
+type StreamInfo struct {
+	Name string `json:"name"`
+	// Version is this rule's version; Versions the total count
+	// registered under the name.
+	Version  int `json:"version"`
+	Versions int `json:"versions"`
+	// IndexGeneration is the index generation the rule was inferred
+	// against; Stale reports whether the index has since moved on.
+	IndexGeneration uint64         `json:"index_generation"`
+	Stale           bool           `json:"stale"`
+	Rule            *validate.Rule `json:"rule"`
+}
+
+func streamInfo(s registry.Stream, versions int) StreamInfo {
+	return StreamInfo{
+		Name:            s.Name,
+		Version:         s.Version,
+		Versions:        versions,
+		IndexGeneration: s.IndexGeneration,
+		Stale:           s.Stale,
+		Rule:            s.Rule,
+	}
+}
+
+// registerStream infers a rule for the stream from train values and
+// appends it as a new registry version, closing the race against a
+// concurrent ingest (see the staleness re-check below).
+func (s *Server) registerStream(name string, train []string, p RuleParams) (registry.Stream, int, error) {
+	opt, err := s.options(p)
+	if err != nil {
+		return registry.Stream{}, http.StatusBadRequest, err
+	}
+	idx := s.idx.Load()
+	rule, err := core.Infer(train, idx, opt)
+	if err != nil {
+		return registry.Stream{}, inferStatus(err), err
+	}
+	stream, err := s.registry.Put(name, rule, opt, idx.Generation)
+	if err != nil {
+		return registry.Stream{}, http.StatusBadRequest, err
+	}
+	stream = s.recheckStale(stream, idx.Generation)
+	// History under an old rule says nothing about the new one.
+	s.mon.Reset(name)
+	if err := s.persistRegistry(); err != nil {
+		return registry.Stream{}, http.StatusInternalServerError,
+			fmt.Errorf("stream registered but registry persistence failed: %w", err)
+	}
+	return stream, http.StatusOK, nil
+}
+
+// recheckStale closes the registration/re-inference race against a
+// concurrent ingest: the ingest's MarkStale ran against the registry
+// before this rule version existed, so if the index generation has
+// moved past the one the rule was inferred at, re-run the invalidation
+// and return the updated snapshot. (Re-reading the pointer is enough:
+// MarkStale is idempotent and the ingest path holds no lock we need.)
+// If the stream was concurrently deleted, the freshly created version
+// is returned marked stale — conservative, and the registry no longer
+// holds it anyway.
+func (s *Server) recheckStale(stream registry.Stream, inferredGen uint64) registry.Stream {
+	cur := s.idx.Load()
+	if cur.Generation == inferredGen {
+		return stream
+	}
+	s.registry.MarkStale(cur.Generation)
+	if latest, ok := s.registry.Get(stream.Name); ok {
+		return latest
+	}
+	stream.Stale = true
+	return stream
+}
+
+func (s *Server) handleStreamPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req StreamPutRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Train) == 0 {
+		writeError(w, http.StatusBadRequest, "train values are required")
+		return
+	}
+	stream, status, err := s.registerStream(name, req.Train, req.RuleParams)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, streamInfo(stream, s.registry.Versions(name)))
+}
+
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	versions := s.registry.Versions(name)
+	if versions == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		return
+	}
+	stream, ok := s.registry.Get(name)
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad version: "+v)
+			return
+		}
+		if stream, ok = s.registry.GetVersion(name, n); !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("stream %q has no version %d", name, n))
+			return
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, streamInfo(stream, versions))
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Delete(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		return
+	}
+	s.mon.Reset(name)
+	if err := s.persistRegistry(); err != nil {
+		writeError(w, http.StatusInternalServerError,
+			"stream deleted but registry persistence failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+// StreamListResponse enumerates registered streams.
+type StreamListResponse struct {
+	Streams []StreamInfo `json:"streams"`
+}
+
+func (s *Server) handleStreamList(w http.ResponseWriter, r *http.Request) {
+	resp := StreamListResponse{Streams: []StreamInfo{}}
+	for _, name := range s.registry.Names() {
+		if stream, ok := s.registry.Get(name); ok {
+			resp.Streams = append(resp.Streams, streamInfo(stream, s.registry.Versions(name)))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StreamCheckRequest delivers one batch of a registered stream.
+type StreamCheckRequest struct {
+	Values []string `json:"values"`
+}
+
+// StreamCheckResponse carries the monitor's decision, and — when the
+// decision escalated to re-inference and the server is not read-only —
+// the outcome of re-learning the rule from this batch.
+type StreamCheckResponse struct {
+	Stream   string           `json:"stream"`
+	Version  int              `json:"version"`
+	Decision monitor.Decision `json:"decision"`
+	// Reinferred is true when the rule was re-learned from this batch;
+	// NewVersion is then the bumped registry version. ReinferError
+	// reports a re-inference that was attempted but failed (the old
+	// rule stays in place).
+	Reinferred   bool   `json:"reinferred,omitempty"`
+	NewVersion   int    `json:"new_version,omitempty"`
+	ReinferError string `json:"reinfer_error,omitempty"`
+}
+
+func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req StreamCheckRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, "values are required")
+		return
+	}
+	stream, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q (register it with PUT /streams/%s)", name, name))
+		return
+	}
+	dec, err := s.mon.Check(stream, req.Values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := StreamCheckResponse{Stream: name, Version: stream.Version, Decision: dec}
+	if dec.Verdict.Action == monitor.Reinfer && !s.readOnly {
+		// The drifted batch is the stream's new normal: re-learn the
+		// rule from it with the stream's original inference options.
+		idx := s.idx.Load()
+		rule, err := core.Infer(req.Values, idx, stream.Options)
+		if err != nil {
+			resp.ReinferError = err.Error()
+		} else if next, err := s.registry.Put(name, rule, stream.Options, idx.Generation); err != nil {
+			resp.ReinferError = err.Error()
+		} else {
+			s.recheckStale(next, idx.Generation)
+			s.mon.Reset(name)
+			resp.Reinferred = true
+			resp.NewVersion = next.Version
+			if err := s.persistRegistry(); err != nil {
+				resp.ReinferError = "re-inferred but registry persistence failed: " + err.Error()
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStreamHistory(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.registry.Versions(name) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		return
+	}
+	h, _ := s.mon.History(name) // zero history is a valid answer
+	writeJSON(w, http.StatusOK, h)
+}

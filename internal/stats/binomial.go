@@ -1,0 +1,100 @@
+package stats
+
+// Exact binomial tail probabilities and Clopper–Pearson confidence
+// bounds, used by the continuous-validation monitor: a rule carries an
+// expected false-positive-rate bound from the offline index, and the
+// monitor asks whether the non-conforming count observed in a fresh
+// batch is consistent with that bound. Both are thin layers over the
+// regularized incomplete beta function already in this package.
+
+import "math"
+
+// BinomialTailP returns P(X >= k) for X ~ Binomial(n, p), the one-sided
+// p-value of observing at least k successes when each of n trials
+// succeeds with probability p. It uses the identity
+//
+//	P(X >= k) = I_p(k, n-k+1)
+//
+// with I the regularized incomplete beta function, so it is exact (to
+// float precision) rather than a normal approximation — batches can be
+// small and p tiny, exactly the regime where approximations mislead.
+func BinomialTailP(k, n int, p float64) float64 {
+	switch {
+	case n <= 0 || k <= 0:
+		return 1
+	case k > n:
+		return 0
+	case p <= 0:
+		return 0 // k >= 1 successes are impossible
+	case p >= 1:
+		return 1
+	}
+	return IncBeta(float64(k), float64(n-k+1), p)
+}
+
+// betaQuantileIter bounds the bisection of BetaQuantile; 80 halvings of
+// [0,1] reach well below float64 resolution.
+const betaQuantileIter = 80
+
+// BetaQuantile returns x such that I_x(a, b) = q, the inverse of the
+// regularized incomplete beta function, by bisection (IncBeta is
+// monotone in x). a, b must be positive; q is clamped to [0, 1].
+func BetaQuantile(q, a, b float64) float64 {
+	if math.IsNaN(q) || a <= 0 || b <= 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < betaQuantileIter; i++ {
+		mid := (lo + hi) / 2
+		if IncBeta(a, b, mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ClopperPearson returns the exact (Clopper–Pearson) two-sided
+// confidence interval for a binomial proportion after observing k
+// successes in n trials, at the given confidence level (e.g. 0.95).
+// The bounds are the standard beta quantiles
+//
+//	lo = BetaQuantile(α/2;   k,   n-k+1)     (0 when k = 0)
+//	hi = BetaQuantile(1-α/2; k+1, n-k)       (1 when k = n)
+//
+// with α = 1 - confidence. The interval is conservative: it covers the
+// true proportion with probability at least the confidence level.
+func ClopperPearson(k, n int, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	alpha := 1 - confidence
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	lo = 0
+	if k > 0 {
+		lo = BetaQuantile(alpha/2, float64(k), float64(n-k+1))
+	}
+	hi = 1
+	if k < n {
+		hi = BetaQuantile(1-alpha/2, float64(k+1), float64(n-k))
+	}
+	return lo, hi
+}

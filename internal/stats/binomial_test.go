@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// binomTailRef computes P(X >= k) by direct summation of the PMF.
+func binomTailRef(k, n int, p float64) float64 {
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		sum += math.Exp(lchoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	return sum
+}
+
+func TestBinomialTailPAgainstDirectSum(t *testing.T) {
+	cases := []struct {
+		k, n int
+		p    float64
+	}{
+		{1, 10, 0.1},
+		{3, 10, 0.1},
+		{5, 50, 0.05},
+		{2, 100, 0.01},
+		{10, 100, 0.05},
+		{40, 400, 0.08},
+	}
+	for _, c := range cases {
+		got := BinomialTailP(c.k, c.n, c.p)
+		want := binomTailRef(c.k, c.n, c.p)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("BinomialTailP(%d, %d, %g) = %.12g, want %.12g", c.k, c.n, c.p, got, want)
+		}
+	}
+}
+
+func TestBinomialTailPEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		k, n    int
+		p, want float64
+	}{
+		{"k=0 is certain", 0, 10, 0.3, 1},
+		{"k>n impossible", 11, 10, 0.3, 0},
+		{"p=0 no successes", 1, 10, 0, 0},
+		{"p=1 all succeed", 10, 10, 1, 1},
+		{"n=0 vacuous", 0, 0, 0.5, 1},
+		{"k=n=1 is p", 1, 1, 0.25, 0.25},
+	}
+	for _, c := range cases {
+		if got := BinomialTailP(c.k, c.n, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: BinomialTailP(%d, %d, %g) = %g, want %g", c.name, c.k, c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBetaQuantileInvertsIncBeta(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 5}, {10, 3}, {0.5, 0.5}, {7, 94}} {
+		for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			x := BetaQuantile(q, ab[0], ab[1])
+			if back := IncBeta(ab[0], ab[1], x); math.Abs(back-q) > 1e-9 {
+				t.Errorf("IncBeta(%g, %g, BetaQuantile(%g)) = %g, want %g", ab[0], ab[1], q, back, q)
+			}
+		}
+	}
+	if !math.IsNaN(BetaQuantile(0.5, -1, 2)) {
+		t.Error("BetaQuantile with a<=0 should be NaN")
+	}
+}
+
+func TestClopperPearsonKnownValues(t *testing.T) {
+	// Reference values from R: binom.test(k, n)$conf.int at 95%.
+	cases := []struct {
+		k, n   int
+		lo, hi float64
+	}{
+		{0, 20, 0, 0.16843},
+		{1, 20, 0.00127, 0.24870},
+		{5, 20, 0.08657, 0.49105},
+		{20, 20, 0.83157, 1},
+	}
+	for _, c := range cases {
+		lo, hi := ClopperPearson(c.k, c.n, 0.95)
+		if math.Abs(lo-c.lo) > 5e-5 || math.Abs(hi-c.hi) > 5e-5 {
+			t.Errorf("ClopperPearson(%d, %d, 0.95) = (%.5f, %.5f), want (%.5f, %.5f)",
+				c.k, c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestClopperPearsonCoversObservedRate(t *testing.T) {
+	for _, c := range []struct{ k, n int }{{0, 10}, {3, 10}, {50, 100}, {99, 100}} {
+		lo, hi := ClopperPearson(c.k, c.n, 0.99)
+		rate := float64(c.k) / float64(c.n)
+		if rate < lo || rate > hi {
+			t.Errorf("ClopperPearson(%d, %d): observed rate %g outside [%g, %g]", c.k, c.n, rate, lo, hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("ClopperPearson(%d, %d): malformed interval [%g, %g]", c.k, c.n, lo, hi)
+		}
+	}
+	if lo, hi := ClopperPearson(3, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("n=0 should give the vacuous interval, got [%g, %g]", lo, hi)
+	}
+}
