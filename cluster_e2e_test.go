@@ -1,0 +1,284 @@
+package autovalidate_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterEndToEnd stands up a real 3-process cluster — an avserve
+// leader, an avserve follower, and an avgateway over both — and drives
+// it the way an operator would: validate through the gateway, register
+// a stream (consistent-hashed to one member), ingest new tables on the
+// leader, and watch the follower converge to the leader's index
+// generation within the delta-poll interval.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and starts processes; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"avgen", "avindex", "avserve", "avgateway"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// Lake + index, exactly as the single-node pipeline would.
+	lake := filepath.Join(dir, "lake")
+	if out, err := exec.Command(bin("avgen"), "-profile", "enterprise", "-tables", "40", "-seed", "3", "-out", lake).CombinedOutput(); err != nil {
+		t.Fatalf("avgen: %v\n%s", err, out)
+	}
+	idx := filepath.Join(dir, "lake.idx")
+	if out, err := exec.Command(bin("avindex"), "-corpus", lake, "-out", idx, "-tau", "8").CombinedOutput(); err != nil {
+		t.Fatalf("avindex: %v\n%s", err, out)
+	}
+
+	// startProc launches a server process and extracts its listen
+	// address from the "listening on" line.
+	startProc := func(name string, args ...string) (addr string) {
+		t.Helper()
+		cmd := exec.Command(bin(name), args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		sc := bufio.NewScanner(stdout)
+		deadline := time.After(30 * time.Second)
+		lineCh := make(chan string, 16)
+		go func() {
+			for sc.Scan() {
+				lineCh <- sc.Text()
+			}
+			close(lineCh)
+		}()
+		for {
+			select {
+			case line, ok := <-lineCh:
+				if !ok {
+					t.Fatalf("%s exited before reporting a listen address", name)
+				}
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					// Keep draining stdout so the process never blocks
+					// on a full pipe.
+					go func() {
+						for range lineCh {
+						}
+					}()
+					return strings.TrimSpace(line[i+len("listening on "):])
+				}
+			case <-deadline:
+				t.Fatalf("%s did not report a listen address", name)
+			}
+		}
+	}
+
+	leaderAddr := startProc("avserve", "-index", idx, "-leader", "-m", "5", "-addr", "127.0.0.1:0")
+	leaderURL := "http://" + leaderAddr
+	followerAddr := startProc("avserve", "-follow", leaderURL, "-m", "5", "-poll", "200ms", "-addr", "127.0.0.1:0")
+	followerURL := "http://" + followerAddr
+	gatewayAddr := startProc("avgateway", "-members", leaderURL+","+followerURL, "-check", "100ms", "-addr", "127.0.0.1:0")
+	gatewayURL := "http://" + gatewayAddr
+
+	waitReady := func(base string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never became ready", base)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitReady(leaderURL)
+	waitReady(followerURL) // 200 only after the snapshot bootstrap
+
+	files, err := filepath.Glob(filepath.Join(lake, "*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("lake files: %v %v", files, err)
+	}
+
+	postJSON := func(method, u string, body any) (int, map[string]any) {
+		t.Helper()
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(method, u, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, u, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		out := map[string]any{}
+		json.Unmarshal(raw, &out)
+		return resp.StatusCode, out
+	}
+
+	// A training column from the lake: not every generated column admits
+	// a pattern (natural-language ones don't), so probe the leader's
+	// /infer for the first feasible one.
+	var train []string
+	for _, file := range files {
+		for col := 0; col < 4 && train == nil; col++ {
+			cand := csvColumn(t, file, col)
+			if len(cand) < 20 {
+				continue
+			}
+			if code, _ := postJSON(http.MethodPost, leaderURL+"/infer", map[string]any{"values": cand}); code == http.StatusOK {
+				train = cand
+			}
+		}
+		if train != nil {
+			break
+		}
+	}
+	if train == nil {
+		t.Fatal("no patternable training column found in the lake")
+	}
+
+	// /validate through the gateway reaches both members round-robin;
+	// every request must succeed.
+	for i := 0; i < 6; i++ {
+		code, out := postJSON(http.MethodPost, gatewayURL+"/validate", map[string]any{
+			"train": train, "values": train,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("gateway validate %d = %d (%v)", i, code, out)
+		}
+	}
+
+	// Register a stream through the gateway: consistent-hashed to one
+	// member; if that member is the follower, the write proxies to the
+	// leader and replicates back within one poll interval. The check
+	// retries across that staleness bound — the documented consistency
+	// model, not a workaround.
+	if code, out := postJSON(http.MethodPut, gatewayURL+"/streams/feed", map[string]any{"train": train}); code != http.StatusOK {
+		t.Fatalf("gateway stream put = %d (%v)", code, out)
+	}
+	checkDeadline := time.Now().Add(5 * time.Second) // poll is 200ms
+	for {
+		code, out := postJSON(http.MethodPost, gatewayURL+"/streams/feed/check", map[string]any{"values": train})
+		if code == http.StatusOK {
+			break
+		}
+		if code != http.StatusNotFound || time.Now().After(checkDeadline) {
+			t.Fatalf("gateway stream check = %d (%v)", code, out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Ingest a second lake file on the leader and watch the follower
+	// converge within the poll interval (plus margin).
+	generation := func(base string) float64 {
+		t.Helper()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		g, _ := h["generation"].(float64)
+		return g
+	}
+	if g := generation(followerURL); g != 0 {
+		t.Fatalf("follower generation before ingest = %v, want 0", g)
+	}
+	arrival := csvColumn(t, files[1%len(files)], 0)
+	code, out := postJSON(http.MethodPost, leaderURL+"/ingest", map[string]any{
+		"tables": []map[string]any{{
+			"name":    "arrival",
+			"columns": []map[string]any{{"name": "c0", "values": arrival}},
+		}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("leader ingest = %d (%v)", code, out)
+	}
+	wantGen := generation(leaderURL)
+	if wantGen != 1 {
+		t.Fatalf("leader generation after ingest = %v, want 1", wantGen)
+	}
+	deadline := time.Now().Add(10 * time.Second) // poll is 200ms; leave CI margin
+	for generation(followerURL) != wantGen {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at generation %v, leader at %v", generation(followerURL), wantGen)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The gateway's member introspection sees both members healthy.
+	resp, err := http.Get(gatewayURL + "/gateway/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var members struct {
+		Members []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&members); err != nil {
+		t.Fatal(err)
+	}
+	if len(members.Members) != 2 {
+		t.Fatalf("gateway reports %d members, want 2", len(members.Members))
+	}
+	for _, m := range members.Members {
+		if !m.Healthy {
+			t.Fatalf("member %s unhealthy at end of test", m.URL)
+		}
+	}
+}
+
+// csvColumn reads column i of a CSV file (skipping the header row).
+func csvColumn(t *testing.T, path string, i int) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	var vals []string
+	for r, row := range rows {
+		if r == 0 || i >= len(row) {
+			continue
+		}
+		vals = append(vals, row[i])
+	}
+	return vals
+}

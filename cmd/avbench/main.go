@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig10a", "experiment id: table1|table2|table3|fig10a|fig10b|fig11|fig12a|fig12b|fig12c|fig12d|fig13|fig14|fig15|ingest|monitor|ablations|all")
+	exp := flag.String("exp", "fig10a", "experiment id: table1|table2|table3|fig10a|fig10b|fig11|fig12a|fig12b|fig12c|fig12d|fig13|fig14|fig15|ingest|monitor|cluster|ablations|all")
 	scale := flag.String("scale", "default", "default|quick")
 	flag.Parse()
 
@@ -78,6 +78,18 @@ func main() {
 		case "monitor":
 			fmt.Println("=== Continuous validation: day-by-day replay with injected drift ===")
 			fmt.Print(evalbench.FormatMonitor(env.MonitorExperiment(evalbench.DefaultMonitorParams())))
+		case "cluster":
+			fmt.Println("=== Replicated cluster: gateway validate QPS (1 vs 3 replicas) and follower catch-up lag ===")
+			measure := 2 * time.Second
+			if *scale == "quick" {
+				measure = 300 * time.Millisecond
+			}
+			res, err := env.ClusterExperiment(measure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cluster:", err)
+				os.Exit(1)
+			}
+			fmt.Print(evalbench.FormatCluster(res))
 		case "ablations":
 			fmt.Println("=== Ablations ===")
 			fmt.Print(evalbench.FormatAblation("FMDV vs CMDV objective", env.AblationCMDV()))
@@ -93,7 +105,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, id := range []string{"table1", "fig10a", "fig10b", "table2", "fig11",
-			"fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "table3", "fig15", "ingest", "monitor", "ablations"} {
+			"fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "table3", "fig15", "ingest", "monitor", "cluster", "ablations"} {
 			run(id)
 		}
 		return

@@ -1,0 +1,106 @@
+// Command avgateway fronts a replicated Auto-Validate cluster: given a
+// static member list (the leader and its read replicas, each an avserve
+// process), it routes stream endpoints (/streams/{name}...) by
+// consistent hash so one replica accumulates each stream's monitor
+// history, round-robins stateless traffic (/infer, /validate, ...)
+// across healthy members, health-checks every member's /readyz, and
+// fails a request over to the next replica when a member refuses the
+// connection or dies mid-response.
+//
+// Usage:
+//
+//	avgateway -members http://n1:8077,http://n2:8077,http://n3:8077 -addr :8070
+//
+// Own endpoints (never proxied):
+//
+//	GET /gateway/members   member list with health flags
+//	GET /gateway/healthz   gateway liveness
+//
+// The gateway holds no validation state — restart it freely; stream
+// affinity is a pure function of (stream name, member list), so every
+// gateway instance over the same members routes identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"autovalidate"
+)
+
+func main() {
+	members := flag.String("members", "", "comma-separated member base URLs (required), e.g. http://n1:8077,http://n2:8077")
+	addr := flag.String("addr", ":8070", "listen address (port 0 picks a free port)")
+	check := flag.Duration("check", time.Second, "member /readyz health-check interval")
+	maxBody := flag.Int64("max-body", 64<<20, "request-body cap in bytes (bodies are buffered for retry)")
+	flag.Parse()
+
+	if *members == "" {
+		fatal(fmt.Errorf("-members is required"))
+	}
+	var urls []*url.URL
+	for _, s := range strings.Split(*members, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		u, err := url.Parse(s)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			fatal(fmt.Errorf("bad member URL %q (want e.g. http://host:8077): %v", s, err))
+		}
+		urls = append(urls, u)
+	}
+
+	g, err := autovalidate.NewGateway(autovalidate.GatewayConfig{
+		Members:       urls,
+		CheckInterval: *check,
+		MaxBody:       *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("avgateway: routing %d member(s), listening on %s\n", len(urls), ln.Addr())
+	for _, u := range urls {
+		fmt.Printf("avgateway: member %s\n", u)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go g.Run(ctx)
+
+	server := &http.Server{Handler: g.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("avgateway: shut down")
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avgateway:", err)
+	os.Exit(1)
+}

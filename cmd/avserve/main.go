@@ -6,6 +6,8 @@
 // Usage:
 //
 //	avserve -index lake.idx -addr :8077 [-registry rules.avr]
+//	avserve -index lake.idx -leader [-retain 64]            # replication leader
+//	avserve -follow http://leader:8077 [-poll 2s]           # read replica
 //
 // Endpoints:
 //
@@ -18,9 +20,25 @@
 //	DELETE /streams/{name}                                           → remove a stream
 //	POST   /streams/{name}/check   {"values": [...]}                 → monitor decision (accept/alarm/quarantine/reinfer)
 //	GET    /streams/{name}/history                                   → rolling batch verdicts + pass-rate EWMA
-//	GET    /healthz                index summary
+//	GET    /healthz                index summary (liveness)
+//	GET    /readyz                 200 once servable, 503 while a follower awaits its first snapshot
 //	GET    /stats                  cache and traffic counters (JSON)
-//	GET    /metrics                Prometheus text format
+//	GET    /metrics                Prometheus text format (counters, gauges, latency histograms)
+//
+// With -leader, three replication endpoints are added and every ingest's
+// delta is retained (bounded by -retain) as a replication log:
+//
+//	GET /replication/snapshot      framed index + stream registry artifact
+//	GET /replication/deltas?from=G retained delta chain from generation G (410 → re-snapshot)
+//	GET /replication/registry      framed registry alone (stream-rule changes)
+//
+// With -follow, avserve runs as a read replica: it starts unready,
+// bootstraps index and registry from the leader's snapshot, then polls
+// for deltas every -poll, applying them through the same copy-on-write
+// swap as /ingest so in-flight requests never observe a half-applied
+// index. Mutating endpoints are proxied to the leader; the follower's
+// state converges on the next poll (eventual consistency, bounded by
+// the poll interval).
 //
 // /ingest swaps the index copy-on-write, so concurrent /infer and
 // /validate requests never observe a half-merged index, and marks
@@ -41,6 +59,7 @@ import (
 	"io/fs"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,21 +80,23 @@ func main() {
 	shards := flag.Int("shards", 0, "reshard the loaded index (0 keeps the persisted shard count)")
 	readonly := flag.Bool("readonly", false, "disable the mutating endpoints (/ingest, stream registration)")
 	regPath := flag.String("registry", "", "stream-rule registry file (loaded at startup, persisted on mutation; empty = in-memory only)")
+	leader := flag.Bool("leader", false, "serve the /replication endpoints and retain ingest deltas for followers")
+	retain := flag.Int("retain", 64, "delta-chain retention for -leader (followers further behind re-snapshot)")
+	follow := flag.String("follow", "", "leader base URL; run as a read replica (bootstraps from its snapshot, polls deltas, proxies writes)")
+	poll := flag.Duration("poll", 2*time.Second, "delta-poll interval for -follow (bounds follower staleness)")
 	flag.Parse()
 
-	start := time.Now()
-	idx, err := autovalidate.LoadIndex(*idxPath)
-	if err != nil {
-		fatal(err)
+	switch {
+	case *leader && *follow != "":
+		fatal(errors.New("-leader and -follow are mutually exclusive"))
+	case *follow != "" && *regPath != "":
+		fatal(errors.New("-registry cannot be combined with -follow: a follower's registry is replicated from the leader"))
+	case *follow != "" && *readonly:
+		fatal(errors.New("-readonly is implied by -follow (writes are proxied to the leader)"))
 	}
-	if *shards > 0 {
-		idx.Reshard(*shards)
-	}
-	fmt.Printf("avserve: loaded %s in %s\n", idx, time.Since(start).Round(time.Millisecond))
 
 	opt := autovalidate.DefaultOptions()
 	opt.R, opt.M, opt.Theta, opt.Alpha = *r, *m, *theta, *alpha
-	opt.Tau = idx.Enum.MaxTokens
 	switch *strategy {
 	case "FMDV":
 		opt.Strategy = autovalidate.FMDV
@@ -89,30 +110,87 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	var reg *autovalidate.StreamRegistry
-	if *regPath != "" {
-		reg, err = autovalidate.LoadStreamRegistry(*regPath)
-		switch {
-		case err == nil:
-			fmt.Printf("avserve: loaded %d stream(s) from %s\n", reg.Len(), *regPath)
-		case errors.Is(err, fs.ErrNotExist):
-			reg = autovalidate.NewStreamRegistry()
-			fmt.Printf("avserve: starting fresh registry at %s\n", *regPath)
-		default:
+	cfg := autovalidate.ServiceConfig{
+		CacheSize: *cacheSize,
+		ReadOnly:  *readonly,
+	}
+
+	var follower *autovalidate.ClusterFollower
+	var leaderURL *url.URL
+	if *follow != "" {
+		// Follower: no local index; serve an empty placeholder behind a
+		// 503 /readyz until the first snapshot installs. The tuning
+		// flags (-r, -m, -theta, ...) apply exactly as on the leader —
+		// run every node with the same ones — while τ is re-derived
+		// from the replicated index at each snapshot install.
+		var err error
+		leaderURL, err = url.Parse(*follow)
+		if err != nil || leaderURL.Scheme == "" || leaderURL.Host == "" {
+			fatal(fmt.Errorf("bad -follow URL %q (want e.g. http://leader:8077): %v", *follow, err))
+		}
+		cfg.Index = autovalidate.NewEmptyIndex(autovalidate.DefaultIndexShards())
+		cfg.Options = &opt
+		cfg.StartUnready = true
+		cfg.WriteProxy = leaderURL
+		// No DeltaLog: avserve followers never serve /replication, so a
+		// retained chain here would be write-only memory.
+		fmt.Printf("avserve: following %s (poll %s)\n", leaderURL, *poll)
+	} else {
+		start := time.Now()
+		idx, err := autovalidate.LoadIndex(*idxPath)
+		if err != nil {
 			fatal(err)
+		}
+		if *shards > 0 {
+			idx.Reshard(*shards)
+		}
+		fmt.Printf("avserve: loaded %s in %s\n", idx, time.Since(start).Round(time.Millisecond))
+		opt.Tau = idx.Enum.MaxTokens
+		cfg.Index = idx
+		cfg.Options = &opt
+
+		if *regPath != "" {
+			reg, err := autovalidate.LoadStreamRegistry(*regPath)
+			switch {
+			case err == nil:
+				fmt.Printf("avserve: loaded %d stream(s) from %s\n", reg.Len(), *regPath)
+			case errors.Is(err, fs.ErrNotExist):
+				reg = autovalidate.NewStreamRegistry()
+				fmt.Printf("avserve: starting fresh registry at %s\n", *regPath)
+			default:
+				fatal(err)
+			}
+			cfg.Registry = reg
+			cfg.RegistryPath = *regPath
+		}
+		if *leader {
+			cfg.DeltaLog = autovalidate.NewIndexDeltaLog(*retain)
 		}
 	}
 
-	svc, err := autovalidate.NewService(autovalidate.ServiceConfig{
-		Index:        idx,
-		Options:      &opt,
-		CacheSize:    *cacheSize,
-		ReadOnly:     *readonly,
-		Registry:     reg,
-		RegistryPath: *regPath,
-	})
+	svc, err := autovalidate.NewService(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	handler := svc.Handler()
+	if *leader {
+		l, err := autovalidate.NewClusterLeader(svc)
+		if err != nil {
+			fatal(err)
+		}
+		handler = l.Handler()
+		fmt.Printf("avserve: replication leader (retaining %d deltas)\n", *retain)
+	}
+	if *follow != "" {
+		follower, err = autovalidate.NewClusterFollower(autovalidate.ClusterFollowerConfig{
+			Leader:       leaderURL,
+			Service:      svc,
+			PollInterval: *poll,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -121,9 +199,13 @@ func main() {
 	}
 	fmt.Printf("avserve: listening on %s\n", ln.Addr())
 
-	server := &http.Server{Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if follower != nil {
+		go follower.Run(ctx)
+	}
+
+	server := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- server.Serve(ln) }()
 	select {

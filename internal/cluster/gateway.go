@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// GatewayConfig configures a cluster gateway.
+type GatewayConfig struct {
+	// Members are the replica base URLs (leader and followers alike —
+	// followers proxy writes to the leader themselves, so the gateway
+	// stays topology-agnostic). Required, at least one.
+	Members []*url.URL
+	// Client issues proxied requests (nil = 30s timeout).
+	Client *http.Client
+	// CheckInterval is the /readyz health-check period (0 = 1s).
+	CheckInterval time.Duration
+	// MaxBody caps buffered request bodies; buffering is what makes
+	// retry-on-next-replica possible (0 = 64 MiB).
+	MaxBody int64
+	// VirtualNodes is the consistent-hash ring's vnode count per member
+	// (0 = 64). More vnodes smooth the stream distribution; fewer
+	// shrink the ring.
+	VirtualNodes int
+}
+
+// member is one routable replica with its health state.
+type member struct {
+	url     *url.URL
+	healthy atomic.Bool
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// Gateway routes validation traffic across a static member list: stream
+// endpoints (/streams/{name}...) are consistent-hashed by stream name so
+// one replica accumulates that stream's monitor history (ring walk gives
+// the failover order), everything else round-robins across healthy
+// members, and a member that dies mid-request is retried on the next
+// candidate. The gateway holds no validation state of its own — it can
+// be restarted freely.
+type Gateway struct {
+	members  []*member
+	ring     []ringPoint
+	rr       atomic.Uint64
+	client   *http.Client
+	interval time.Duration
+	maxBody  int64
+}
+
+// NewGateway builds a gateway over the member list. Members start
+// healthy; the first health-check round corrects that within
+// CheckInterval.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: gateway requires at least one member")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	interval := cfg.CheckInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	maxBody := cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	vnodes := cfg.VirtualNodes
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	g := &Gateway{client: client, interval: interval, maxBody: maxBody}
+	for _, u := range cfg.Members {
+		if u == nil {
+			return nil, fmt.Errorf("cluster: nil member URL")
+		}
+		m := &member{url: u}
+		m.healthy.Store(true)
+		g.members = append(g.members, m)
+	}
+	g.ring = buildRing(cfg.Members, vnodes)
+	return g, nil
+}
+
+// buildRing places vnodes points per member on a 64-bit hash ring.
+func buildRing(members []*url.URL, vnodes int) []ringPoint {
+	ring := make([]ringPoint, 0, len(members)*vnodes)
+	for mi, u := range members {
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringPoint{hash: hash64(u.String() + "#" + strconv.Itoa(v)), member: mi})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	return ring
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// sequence returns every member index in ring-walk order starting at the
+// key's position — the stream's home replica first, then its failover
+// order. The order is a pure function of (key, member list), so every
+// gateway instance routes a stream identically.
+func (g *Gateway) sequence(key string) []int {
+	h := hash64(key)
+	start := sort.Search(len(g.ring), func(i int) bool { return g.ring[i].hash >= h })
+	seen := make([]bool, len(g.members))
+	order := make([]int, 0, len(g.members))
+	for i := 0; i < len(g.ring) && len(order) < len(g.members); i++ {
+		p := g.ring[(start+i)%len(g.ring)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			order = append(order, p.member)
+		}
+	}
+	return order
+}
+
+// rrSequence returns member indices rotated by an atomic counter — the
+// round-robin order for stateless traffic.
+func (g *Gateway) rrSequence() []int {
+	start := int(g.rr.Add(1)) % len(g.members)
+	order := make([]int, len(g.members))
+	for i := range order {
+		order[i] = (start + i) % len(g.members)
+	}
+	return order
+}
+
+// streamKey extracts the stream name from /streams/{name}[/...] paths;
+// ok is false for every other route (including the /streams listing,
+// which any replica can answer).
+func streamKey(path string) (string, bool) {
+	rest, found := strings.CutPrefix(path, "/streams/")
+	if !found || rest == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// Handler returns the gateway's routes: /gateway/members for topology
+// introspection, everything else proxied to the cluster.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /gateway/members", g.handleMembers)
+	mux.HandleFunc("GET /gateway/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","members":%d}`, len(g.members))
+	})
+	mux.HandleFunc("/", g.proxy)
+	return mux
+}
+
+// MemberInfo is one member's routing state.
+type MemberInfo struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Members snapshots the member list and health flags.
+func (g *Gateway) Members() []MemberInfo {
+	out := make([]MemberInfo, len(g.members))
+	for i, m := range g.members {
+		out[i] = MemberInfo{URL: m.url.String(), Healthy: m.healthy.Load()}
+	}
+	return out
+}
+
+func (g *Gateway) handleMembers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"members": g.Members()})
+}
+
+// proxy forwards one request to the first candidate that answers,
+// failing over past members that refuse the connection or die
+// mid-response. Request bodies are buffered (bounded) so a retry can
+// resend them; responses are buffered so a mid-body death retries
+// cleanly instead of leaving the client a truncated reply.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
+	var order []int
+	if key, ok := streamKey(r.URL.Path); ok {
+		order = g.sequence(key)
+	} else {
+		order = g.rrSequence()
+	}
+
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Healthy members first, in routing order; unhealthy ones as a last
+	// resort (the flag may simply be stale).
+	candidates := make([]int, 0, len(order))
+	for _, mi := range order {
+		if g.members[mi].healthy.Load() {
+			candidates = append(candidates, mi)
+		}
+	}
+	for _, mi := range order {
+		if !g.members[mi].healthy.Load() {
+			candidates = append(candidates, mi)
+		}
+	}
+
+	var lastErr error
+	for _, mi := range candidates {
+		m := g.members[mi]
+		status, header, respBody, sent, err := g.forward(r, m, body)
+		if err != nil {
+			m.healthy.Store(false)
+			lastErr = err
+			// Retrying is only safe when the request provably never
+			// reached the member (dial failure) or when re-executing it
+			// cannot duplicate durable state. A POST /ingest whose
+			// response was lost may already have been applied — resending
+			// it to another member would proxy it back to the leader and
+			// double-count the batch.
+			if sent && !retrySafe(r) {
+				http.Error(w, fmt.Sprintf(
+					"member %s failed after the request was sent (%v); not retrying a non-idempotent write — verify state before resending",
+					m.url, err), http.StatusBadGateway)
+				return
+			}
+			continue
+		}
+		m.healthy.Store(true)
+		for k, vs := range header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set("X-Autovalidate-Member", m.url.String())
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
+	}
+	http.Error(w, fmt.Sprintf("no cluster member reachable: %v", lastErr), http.StatusBadGateway)
+}
+
+// forward sends the buffered request to one member and buffers the full
+// response; any transport failure (connect, send, or mid-body) is
+// returned as an error so the caller can try the next member. sent
+// reports whether the request may have reached the member: false only
+// for dial failures, where no byte left this process.
+func (g *Gateway) forward(r *http.Request, m *member, body []byte) (int, http.Header, []byte, bool, error) {
+	u := *m.url
+	u.Path = singleJoin(u.Path, r.URL.Path)
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, false, err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		var opErr *net.OpError
+		dialFailed := errors.As(err, &opErr) && opErr.Op == "dial"
+		return 0, nil, nil, !dialFailed, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, true, fmt.Errorf("reading response from %s: %w", m.url, err)
+	}
+	return resp.StatusCode, resp.Header, respBody, true, nil
+}
+
+// retrySafe reports whether a request that may already have reached a
+// member can be re-executed elsewhere without duplicating durable
+// state: reads always; stateless inference/validation; and stream
+// checks, which are at-least-once monitoring signals (a double-counted
+// batch in the rolling window is preferable to a dropped one). Proxied
+// mutations of durable state — /ingest, stream registration/deletion —
+// are not retried once sent.
+func retrySafe(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return true
+	case http.MethodPost:
+		return r.URL.Path == "/validate" || r.URL.Path == "/infer" ||
+			strings.HasSuffix(r.URL.Path, "/check")
+	}
+	return false
+}
+
+func singleJoin(a, b string) string {
+	switch {
+	case strings.HasSuffix(a, "/") && strings.HasPrefix(b, "/"):
+		return a + b[1:]
+	case !strings.HasSuffix(a, "/") && !strings.HasPrefix(b, "/"):
+		return a + "/" + b
+	}
+	return a + b
+}
+
+// CheckOnce probes every member's /readyz once, updating health flags —
+// the unit of Run's loop, exported so tests (and operators via a
+// one-shot mode) can drive it deterministically.
+func (g *Gateway) CheckOnce(ctx context.Context) {
+	checkClient := &http.Client{Timeout: 2 * time.Second}
+	for _, m := range g.members {
+		u := *m.url
+		u.Path = singleJoin(u.Path, "/readyz")
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			m.healthy.Store(false)
+			continue
+		}
+		resp, err := checkClient.Do(req)
+		if err != nil {
+			m.healthy.Store(false)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		m.healthy.Store(resp.StatusCode == http.StatusOK)
+	}
+}
+
+// Run health-checks members every CheckInterval until ctx is done.
+func (g *Gateway) Run(ctx context.Context) {
+	ticker := time.NewTicker(g.interval)
+	defer ticker.Stop()
+	for {
+		g.CheckOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package evalbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autovalidate/internal/cluster"
+	"autovalidate/internal/core"
+	"autovalidate/internal/datagen"
+	"autovalidate/internal/index"
+	"autovalidate/internal/service"
+)
+
+// ClusterResult measures the replicated serving layer: /validate
+// throughput through the gateway at one replica vs three, and how long
+// a follower lags the leader after an ingest (bootstrap-to-converged
+// wall time over the poll loop).
+type ClusterResult struct {
+	// Replicas1QPS and Replicas3QPS are gateway-routed /validate
+	// throughputs with a 1-member vs 3-member cluster.
+	Replicas1QPS float64
+	Replicas3QPS float64
+	Speedup      float64
+	// Requests1 / Requests3 are the raw request counts behind the QPS.
+	Requests1, Requests3 int
+	// CatchUpMillis is the wall time from the leader acknowledging an
+	// ingest to both followers reaching its generation via the delta
+	// poll loop; PollMillis is the loop interval it is bounded by.
+	CatchUpMillis float64
+	PollMillis    float64
+	// LeaderGeneration / FollowerGeneration after convergence.
+	LeaderGeneration   uint64
+	FollowerGeneration uint64
+	// SnapshotBytes is the size of the bootstrap artifact the followers
+	// installed.
+	SnapshotBytes int
+}
+
+// clusterWorkload is a pre-marshaled /validate request (train + values
+// from one domain) every replica can serve statelessly.
+func clusterWorkload(seed int64) ([]byte, error) {
+	train, err := datagen.FreshColumn("timestamp_us", 100, seed)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := datagen.FreshColumn("timestamp_us", 200, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{"train": train, "values": batch})
+}
+
+// ClusterExperiment stands up an in-process leader + two followers +
+// gateway (real HTTP on loopback), drives validate traffic through the
+// gateway at both cluster sizes, then ingests a table on the leader and
+// times follower convergence.
+func (e *Env) ClusterExperiment(measure time.Duration) (ClusterResult, error) {
+	var res ClusterResult
+	opt := core.DefaultOptions()
+	opt.M = e.Cfg.M
+	opt.Tau = e.IdxE.Enum.MaxTokens
+
+	// Leader over a clone of the Enterprise index.
+	leaderSvc, err := service.New(service.Config{
+		Index:    e.IdxE.Clone(),
+		Options:  &opt,
+		DeltaLog: index.NewDeltaLog(0),
+	})
+	if err != nil {
+		return res, err
+	}
+	leader, err := cluster.NewLeader(leaderSvc)
+	if err != nil {
+		return res, err
+	}
+	leaderTS := httptest.NewServer(leader.Handler())
+	defer leaderTS.Close()
+	leaderURL, err := url.Parse(leaderTS.URL)
+	if err != nil {
+		return res, err
+	}
+
+	var snapBuf bytes.Buffer
+	if err := cluster.WriteSnapshot(&snapBuf, leaderSvc); err != nil {
+		return res, err
+	}
+	res.SnapshotBytes = snapBuf.Len()
+
+	// Two followers, bootstrapped over the replication protocol.
+	const pollEvery = 25 * time.Millisecond
+	res.PollMillis = float64(pollEvery.Microseconds()) / 1000
+	type replica struct {
+		svc *service.Server
+		f   *cluster.Follower
+		ts  *httptest.Server
+	}
+	replicas := make([]replica, 2)
+	for i := range replicas {
+		svc, err := service.New(service.Config{
+			Index:        index.New(4),
+			Options:      &opt,
+			StartUnready: true,
+			WriteProxy:   leaderURL,
+		})
+		if err != nil {
+			return res, err
+		}
+		f, err := cluster.NewFollower(cluster.FollowerConfig{
+			Leader: leaderURL, Service: svc, PollInterval: pollEvery,
+		})
+		if err != nil {
+			return res, err
+		}
+		if err := f.CatchUp(context.Background()); err != nil {
+			return res, fmt.Errorf("bootstrap replica %d: %w", i, err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		replicas[i] = replica{svc: svc, f: f, ts: ts}
+	}
+
+	body, err := clusterWorkload(e.Cfg.Seed + 41)
+	if err != nil {
+		return res, err
+	}
+
+	// Gateway QPS at 1 vs 3 members. Per-worker HTTP clients avoid a
+	// shared-transport bottleneck masking the replica speedup.
+	qps := func(members ...string) (float64, int, error) {
+		urls := make([]*url.URL, len(members))
+		for i, m := range members {
+			u, err := url.Parse(m)
+			if err != nil {
+				return 0, 0, err
+			}
+			urls[i] = u
+		}
+		g, err := cluster.NewGateway(cluster.GatewayConfig{Members: urls})
+		if err != nil {
+			return 0, 0, err
+		}
+		gw := httptest.NewServer(g.Handler())
+		defer gw.Close()
+
+		// Warm every member's rule cache first so both cluster sizes
+		// measure steady-state serving, not one cold FMDV inference.
+		for _, m := range members {
+			resp, err := http.Post(m+"/validate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return 0, 0, fmt.Errorf("warm-up: %w", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return 0, 0, fmt.Errorf("warm-up returned %d", resp.StatusCode)
+			}
+		}
+
+		const workers = 8
+		var total atomic.Uint64
+		var failed atomic.Uint64
+		var wg sync.WaitGroup
+		start := time.Now()
+		deadline := start.Add(measure)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := &http.Client{Timeout: 30 * time.Second}
+				for time.Now().Before(deadline) {
+					resp, err := client.Post(gw.URL+"/validate", "application/json", bytes.NewReader(body))
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					if resp.StatusCode == http.StatusOK {
+						total.Add(1)
+					} else {
+						failed.Add(1)
+					}
+					resp.Body.Close()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if failed.Load() > 0 {
+			return 0, 0, fmt.Errorf("%d validate requests failed", failed.Load())
+		}
+		return float64(total.Load()) / elapsed.Seconds(), int(total.Load()), nil
+	}
+
+	res.Replicas1QPS, res.Requests1, err = qps(leaderTS.URL)
+	if err != nil {
+		return res, err
+	}
+	res.Replicas3QPS, res.Requests3, err = qps(leaderTS.URL, replicas[0].ts.URL, replicas[1].ts.URL)
+	if err != nil {
+		return res, err
+	}
+	if res.Replicas1QPS > 0 {
+		res.Speedup = res.Replicas3QPS / res.Replicas1QPS
+	}
+
+	// Catch-up lag: start the poll loops, ingest on the leader, time
+	// convergence of both followers.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, r := range replicas {
+		go r.f.Run(ctx)
+	}
+	arrival := datagen.Generate(datagen.Enterprise(1, e.Cfg.Seed+43))
+	ing := service.IngestRequest{}
+	for _, tbl := range arrival.Tables {
+		it := service.IngestTable{Name: tbl.Name}
+		for _, col := range tbl.Columns {
+			it.Columns = append(it.Columns, service.IngestColumn{Name: col.Name, Values: col.Values})
+		}
+		ing.Tables = append(ing.Tables, it)
+	}
+	ingBody, err := json.Marshal(ing)
+	if err != nil {
+		return res, err
+	}
+	resp, err := http.Post(leaderTS.URL+"/ingest", "application/json", bytes.NewReader(ingBody))
+	if err != nil {
+		return res, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("leader ingest returned %d", resp.StatusCode)
+	}
+	ingested := time.Now()
+	res.LeaderGeneration = leaderSvc.Generation()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		converged := true
+		for _, r := range replicas {
+			if r.svc.Generation() != res.LeaderGeneration {
+				converged = false
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("followers did not converge to generation %d", res.LeaderGeneration)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.CatchUpMillis = float64(time.Since(ingested).Microseconds()) / 1000
+	res.FollowerGeneration = replicas[0].svc.Generation()
+	return res, nil
+}
+
+// FormatCluster renders the experiment as a report section.
+func FormatCluster(r ClusterResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "snapshot artifact:    %d bytes\n", r.SnapshotBytes)
+	fmt.Fprintf(&sb, "validate QPS (1x):    %.0f (%d requests)\n", r.Replicas1QPS, r.Requests1)
+	fmt.Fprintf(&sb, "validate QPS (3x):    %.0f (%d requests)\n", r.Replicas3QPS, r.Requests3)
+	fmt.Fprintf(&sb, "replica speedup:      %.2fx (in-process replicas share one host's CPU: ~1x here\n", r.Speedup)
+	fmt.Fprint(&sb, "                      means the gateway adds no overhead; >1x needs separate hosts)\n")
+	fmt.Fprintf(&sb, "catch-up lag:         %.1f ms after ingest (poll every %.0f ms)\n", r.CatchUpMillis, r.PollMillis)
+	fmt.Fprintf(&sb, "generations:          leader=%d follower=%d\n", r.LeaderGeneration, r.FollowerGeneration)
+	return sb.String()
+}

@@ -121,6 +121,23 @@ func writeAtomic(path string, write func(w *bufio.Writer) error) error {
 // recording the generation counter alongside the evidence. Shard payloads
 // are gob-encoded in parallel and written sequentially.
 func (idx *Index) Save(path string) error {
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		return idx.encode(w, path)
+	})
+}
+
+// Encode writes the index in the v3 format to an arbitrary writer — the
+// same bytes Save puts in a file, reusable as a network payload (the
+// cluster's snapshot shipping streams it over HTTP).
+func (idx *Index) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := idx.encode(bw, "stream"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (idx *Index) encode(w *bufio.Writer, label string) error {
 	head := headerV3{
 		NumShards:   len(idx.shards),
 		Enum:        idx.Enum,
@@ -128,17 +145,31 @@ func (idx *Index) Save(path string) error {
 		SkippedWide: idx.SkippedWide,
 		Generation:  idx.Generation,
 	}
-	return writeAtomic(path, func(w *bufio.Writer) error {
-		return encodeSharded(w, path, magicV3, head, idx.shards)
-	})
+	return encodeSharded(w, label, magicV3, head, idx.shards)
 }
 
 // SaveDelta writes a delta to path in the v3 format with the delta flag
 // set, so a delta file can never be mistaken for a full index: Load
 // rejects it and points at LoadDelta.
 func SaveDelta(path string, d *Delta) error {
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		return encodeDelta(w, path, d)
+	})
+}
+
+// EncodeDelta writes a delta in the v3 delta format to an arbitrary
+// writer — the replication-log payload of the cluster's delta shipping.
+func EncodeDelta(w io.Writer, d *Delta) error {
+	bw := bufio.NewWriter(w)
+	if err := encodeDelta(bw, "stream", d); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func encodeDelta(w *bufio.Writer, label string, d *Delta) error {
 	if d == nil || d.Evidence == nil {
-		return fmt.Errorf("index: cannot save nil delta to %s", path)
+		return fmt.Errorf("index: cannot encode nil delta to %s", label)
 	}
 	ev := d.Evidence
 	head := headerV3{
@@ -150,9 +181,7 @@ func SaveDelta(path string, d *Delta) error {
 		Delta:          true,
 		BaseGeneration: d.Base,
 	}
-	return writeAtomic(path, func(w *bufio.Writer) error {
-		return encodeSharded(w, path, magicV3, head, ev.shards)
-	})
+	return encodeSharded(w, label, magicV3, head, ev.shards)
 }
 
 // SaveV2 writes the index in the previous sharded v2 format, which has no
@@ -279,23 +308,34 @@ func Load(path string) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
-	r := bufio.NewReader(f)
+	return decodeIndex(path, bufio.NewReader(f), fi.Size())
+}
+
+// Decode reads an index from a stream of bytes written by Encode (or any
+// of the Save formats). maxSize bounds section allocations the way the
+// file size bounds them in Load; pass the framed payload length when the
+// stream arrives over the network.
+func Decode(r io.Reader, maxSize int64) (*Index, error) {
+	return decodeIndex("stream", bufio.NewReader(r), maxSize)
+}
+
+func decodeIndex(label string, r *bufio.Reader, maxSize int64) (*Index, error) {
 	head, err := r.Peek(len(magicV3))
 	switch {
 	case err == nil && bytes.Equal(head, magicV3):
-		idx, hdr, err := loadV3(path, r, fi.Size())
+		idx, hdr, err := loadV3(label, r, maxSize)
 		if err != nil {
 			return nil, err
 		}
 		if hdr.Delta {
 			return nil, fmt.Errorf("index: %s is a delta file (base generation %d); load it with LoadDelta",
-				path, hdr.BaseGeneration)
+				label, hdr.BaseGeneration)
 		}
 		return idx, nil
 	case err == nil && bytes.Equal(head, magicV2):
-		return loadV2(path, r, fi.Size())
+		return loadV2(label, r, maxSize)
 	}
-	return loadV1(path, r)
+	return loadV1(label, r)
 }
 
 // LoadDelta reads a delta previously written by SaveDelta.
@@ -309,17 +349,26 @@ func LoadDelta(path string) (*Delta, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
-	r := bufio.NewReader(f)
+	return decodeDelta(path, bufio.NewReader(f), fi.Size())
+}
+
+// DecodeDelta reads a delta from a stream of bytes written by
+// EncodeDelta; maxSize bounds section allocations (see Decode).
+func DecodeDelta(r io.Reader, maxSize int64) (*Delta, error) {
+	return decodeDelta("stream", bufio.NewReader(r), maxSize)
+}
+
+func decodeDelta(label string, r *bufio.Reader, maxSize int64) (*Delta, error) {
 	head, err := r.Peek(len(magicV3))
 	if err != nil || !bytes.Equal(head, magicV3) {
-		return nil, fmt.Errorf("index: %s is not a delta file (bad magic)", path)
+		return nil, fmt.Errorf("index: %s is not a delta file (bad magic)", label)
 	}
-	ev, hdr, err := loadV3(path, r, fi.Size())
+	ev, hdr, err := loadV3(label, r, maxSize)
 	if err != nil {
 		return nil, err
 	}
 	if !hdr.Delta {
-		return nil, fmt.Errorf("index: %s is a full index, not a delta; load it with Load", path)
+		return nil, fmt.Errorf("index: %s is a full index, not a delta; load it with Load", label)
 	}
 	return &Delta{Evidence: ev, Base: hdr.BaseGeneration}, nil
 }

@@ -347,6 +347,18 @@ func (e *Engine) Reset(name string) {
 	delete(e.streams, name)
 }
 
+// ResetAll drops the rolling state of every stream — called when a
+// follower installs a replicated snapshot, which can replace the whole
+// registry at once. Per-stream history accumulated under the replaced
+// rules says nothing about the incoming ones, and because the gateway
+// pins each stream to one replica by consistent hash, the history being
+// rebuilt here is the only copy that matters for that stream.
+func (e *Engine) ResetAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.streams = make(map[string]*streamState)
+}
+
 // History snapshots one stream's rolling state; ok is false when the
 // stream has never been checked.
 func (e *Engine) History(name string) (History, bool) {

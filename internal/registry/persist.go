@@ -63,6 +63,15 @@ const maxSection = 64 << 20
 // written in sorted name order so identical registries produce identical
 // bytes.
 func (r *Registry) Save(path string) error {
+	return writeAtomic(path, func(w *bufio.Writer) error {
+		return r.Encode(w)
+	})
+}
+
+// Encode writes the registry in the AVREG1 format to an arbitrary writer
+// — the same bytes Save puts in a file, reusable as a network payload
+// (the cluster ships the registry alongside the index snapshot).
+func (r *Registry) Encode(w io.Writer) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.streams))
 	for name := range r.streams {
@@ -94,30 +103,32 @@ func (r *Registry) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("registry: %w", err)
 	}
-	return writeAtomic(path, func(w *bufio.Writer) error {
-		if _, err := w.Write(regMagic); err != nil {
-			return err
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(regMagic); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(head))); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if _, err := bw.Write(head); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	for _, name := range names {
+		payload := sections[name]
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(payload))); err != nil {
+			return fmt.Errorf("registry: %w", err)
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(head))); err != nil {
-			return err
+		if err := binary.Write(bw, binary.LittleEndian, crc32.Checksum(payload, castagnoli)); err != nil {
+			return fmt.Errorf("registry: %w", err)
 		}
-		if _, err := w.Write(head); err != nil {
-			return err
+		if _, err := bw.Write(payload); err != nil {
+			return fmt.Errorf("registry: %w", err)
 		}
-		for _, name := range names {
-			payload := sections[name]
-			if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, crc32.Checksum(payload, castagnoli)); err != nil {
-				return err
-			}
-			if _, err := w.Write(payload); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	return nil
 }
 
 // Load reads a registry written by Save. Corrupt files — bad magic,
@@ -129,6 +140,16 @@ func Load(path string) (*Registry, error) {
 		return nil, fmt.Errorf("registry: %w", err)
 	}
 	defer f.Close()
+	return decode(path, f)
+}
+
+// Decode reads a registry from a stream of bytes written by Encode, with
+// the same corruption guarantees as Load.
+func Decode(r io.Reader) (*Registry, error) {
+	return decode("stream", r)
+}
+
+func decode(path string, f io.Reader) (*Registry, error) {
 	corrupt := func(format string, args ...any) error {
 		return fmt.Errorf("registry: %s is corrupt: %s", path, fmt.Sprintf(format, args...))
 	}

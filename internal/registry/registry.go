@@ -58,6 +58,34 @@ type record struct {
 type Registry struct {
 	mu      sync.RWMutex
 	streams map[string]*record
+	// epoch counts mutations (Put, Delete, MarkStale, ReplaceFrom) since
+	// the registry was created. The replication layer compares a leader's
+	// epoch against the one a follower last fetched to decide whether the
+	// registry needs re-shipping; it is process-local state and is not
+	// persisted.
+	epoch uint64
+}
+
+// Epoch returns the mutation counter. Two equal epochs from the same
+// process mean the registry is unchanged between the two reads.
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// ReplaceFrom swaps this registry's entire contents for src's — the
+// follower-side install of a replicated registry. src is adopted, not
+// copied; the caller must not use src afterwards. The epoch advances so
+// local observers see the change.
+func (r *Registry) ReplaceFrom(src *Registry) {
+	src.mu.RLock()
+	streams := src.streams
+	src.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.streams = streams
+	r.epoch++
 }
 
 // New returns an empty registry.
@@ -90,6 +118,7 @@ func (r *Registry) Put(name string, rule *validate.Rule, opt core.Options, gen u
 		IndexGeneration: gen,
 	}
 	rec.versions = append(rec.versions, s)
+	r.epoch++
 	return s, nil
 }
 
@@ -133,6 +162,9 @@ func (r *Registry) Delete(name string) bool {
 	defer r.mu.Unlock()
 	_, ok := r.streams[name]
 	delete(r.streams, name)
+	if ok {
+		r.epoch++
+	}
 	return ok
 }
 
@@ -174,6 +206,9 @@ func (r *Registry) MarkStale(currentGen uint64) int {
 			latest.Stale = true
 			marked++
 		}
+	}
+	if marked > 0 {
+		r.epoch++
 	}
 	return marked
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -39,18 +40,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("autovalidate_index_patterns", "Patterns in the offline index.", float64(idx.Size()))
 	gauge("autovalidate_index_columns", "Corpus columns aggregated into the index.", float64(idx.Columns))
 	counter("autovalidate_ingests_total", "Ingest batches folded into the index.", s.ingests.Load())
+	counter("autovalidate_replicated_deltas_total", "Replicated deltas applied (followers).", s.replicatedDeltas.Load())
+	counter("autovalidate_snapshot_installs_total", "Full snapshots installed (followers).", s.snapshotInstalls.Load())
+	ready := 0.0
+	if s.ready.Load() {
+		ready = 1
+	}
+	gauge("autovalidate_ready", "Whether /readyz reports 200 (1) or 503 (0).", ready)
 	gauge("autovalidate_streams", "Streams registered for continuous validation.", float64(s.registry.Len()))
 	gauge("autovalidate_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 
-	const reqName = "autovalidate_http_requests_total"
-	fmt.Fprintf(&sb, "# HELP %s Requests served, by route.\n# TYPE %s counter\n", reqName, reqName)
 	patterns := make([]string, 0, len(s.endpoints))
 	for route := range s.endpoints {
 		patterns = append(patterns, route)
 	}
 	sort.Strings(patterns)
+
+	const reqName = "autovalidate_http_requests_total"
+	fmt.Fprintf(&sb, "# HELP %s Requests served, by route.\n# TYPE %s counter\n", reqName, reqName)
 	for _, route := range patterns {
-		fmt.Fprintf(&sb, "%s{endpoint=%q} %d\n", reqName, route, s.endpoints[route].Load())
+		fmt.Fprintf(&sb, "%s{endpoint=%q} %d\n", reqName, route, s.endpoints[route].requests.Load())
+	}
+
+	// Per-endpoint latency histograms: fixed buckets, rendered in the
+	// cumulative form Prometheus expects. Routes that have served no
+	// requests are skipped to keep the exposition small.
+	const durName = "autovalidate_http_request_duration_seconds"
+	fmt.Fprintf(&sb, "# HELP %s Request latency, by route.\n# TYPE %s histogram\n", durName, durName)
+	for _, route := range patterns {
+		cum, count, sum := s.endpoints[route].latency.snapshot()
+		if count == 0 {
+			continue
+		}
+		for i, bound := range latencyBuckets {
+			fmt.Fprintf(&sb, "%s_bucket{endpoint=%q,le=%q} %d\n",
+				durName, route, strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
+		}
+		fmt.Fprintf(&sb, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", durName, route, cum[len(cum)-1])
+		fmt.Fprintf(&sb, "%s_sum{endpoint=%q} %g\n", durName, route, sum)
+		fmt.Fprintf(&sb, "%s_count{endpoint=%q} %d\n", durName, route, count)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +72,23 @@ type Config struct {
 	// Monitor configures the continuous-validation engine; nil uses
 	// monitor.DefaultPolicy.
 	Monitor *monitor.Policy
+	// DeltaLog, when set, retains the delta of every ingest so a cluster
+	// leader can serve them as a replication log (GET
+	// /replication/deltas). Followers also record replicated deltas here
+	// when set, which lets them act as a snapshot-and-delta source in
+	// turn.
+	DeltaLog *index.DeltaLog
+	// WriteProxy, when set, makes this server a cluster follower for
+	// writes: the mutating endpoints (/ingest, stream registration and
+	// deletion) are proxied to the leader at this base URL instead of
+	// served locally, and /streams/{name}/check never re-infers locally
+	// (the rule will arrive via registry replication). Read endpoints
+	// are always served from the local replica.
+	WriteProxy *url.URL
+	// StartUnready makes GET /readyz report 503 until the first snapshot
+	// is installed (InstallSnapshot). Followers start unready so a
+	// cluster gateway does not route to them before they have an index.
+	StartUnready bool
 }
 
 // Server is a long-running validation service over one offline index.
@@ -77,8 +96,11 @@ type Config struct {
 type Server struct {
 	// idx is swapped wholesale by ingestion; request handlers load it
 	// once and use that snapshot for the whole request.
-	idx       atomic.Pointer[index.Index]
-	opt       core.Options
+	idx atomic.Pointer[index.Index]
+	// opt holds the inference defaults behind an atomic pointer because
+	// a follower's snapshot install retunes τ to the replicated index's
+	// enumeration settings while requests are in flight.
+	opt       atomic.Pointer[core.Options]
 	maxIngest int64
 	readOnly  bool
 
@@ -101,9 +123,20 @@ type Server struct {
 	ingests atomic.Uint64
 	start   time.Time
 
-	// endpoints maps route patterns to request counters; the map is
-	// fixed at construction, so lock-free reads are safe.
-	endpoints map[string]*atomic.Uint64
+	// Replication state: the retained delta chain (leaders), the write
+	// proxy to the leader (followers), readiness for the gateway's
+	// health checks, and counters for /metrics.
+	deltaLog         *index.DeltaLog
+	writeProxy       *url.URL
+	proxy            http.Handler
+	ready            atomic.Bool
+	replicatedDeltas atomic.Uint64
+	snapshotInstalls atomic.Uint64
+
+	// endpoints maps route patterns to request counters and latency
+	// histograms; the map is fixed at construction, so lock-free reads
+	// are safe.
+	endpoints map[string]*endpointStats
 }
 
 // New builds a server from a loaded index.
@@ -134,20 +167,30 @@ func New(cfg Config) (*Server, error) {
 		pol = *cfg.Monitor
 	}
 	s := &Server{
-		opt:       opt,
-		maxIngest: maxIngest,
-		readOnly:  cfg.ReadOnly,
-		cache:     newRuleLRU(size),
-		registry:  reg,
-		regPath:   cfg.RegistryPath,
-		mon:       monitor.NewEngine(pol),
-		start:     time.Now(),
-		endpoints: make(map[string]*atomic.Uint64),
+		maxIngest:  maxIngest,
+		readOnly:   cfg.ReadOnly,
+		cache:      newRuleLRU(size),
+		registry:   reg,
+		regPath:    cfg.RegistryPath,
+		mon:        monitor.NewEngine(pol),
+		start:      time.Now(),
+		deltaLog:   cfg.DeltaLog,
+		writeProxy: cfg.WriteProxy,
+		endpoints:  make(map[string]*endpointStats),
+	}
+	s.opt.Store(&opt)
+	if cfg.WriteProxy != nil {
+		rp := httputil.NewSingleHostReverseProxy(cfg.WriteProxy)
+		rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			writeError(w, http.StatusBadGateway, "proxying write to leader: "+err.Error())
+		}
+		s.proxy = rp
 	}
 	for _, route := range routes {
-		s.endpoints[route] = &atomic.Uint64{}
+		s.endpoints[route] = &endpointStats{latency: newHistogram()}
 	}
 	s.idx.Store(cfg.Index)
+	s.ready.Store(!cfg.StartUnready)
 	return s, nil
 }
 
@@ -158,6 +201,7 @@ var routes = []string{
 	"POST /validate",
 	"POST /ingest",
 	"GET /healthz",
+	"GET /readyz",
 	"GET /stats",
 	"GET /metrics",
 	"GET /streams",
@@ -176,15 +220,24 @@ const maxBody = 64 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(route string, h http.HandlerFunc) {
-		counter := s.endpoints[route]
+		stats := s.endpoints[route]
 		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
-			counter.Add(1)
+			stats.requests.Add(1)
+			start := time.Now()
 			h(w, r)
+			stats.latency.observe(time.Since(start))
 		})
 	}
 	handle("POST /infer", s.handleInfer)
 	handle("POST /validate", s.handleValidate)
-	if !s.readOnly {
+	switch {
+	case s.proxy != nil:
+		// Follower: writes go to the leader; the result replicates back
+		// via snapshot + delta shipping.
+		handle("POST /ingest", s.handleProxyWrite)
+		handle("PUT /streams/{name}", s.handleProxyWrite)
+		handle("DELETE /streams/{name}", s.handleProxyWrite)
+	case !s.readOnly:
 		handle("POST /ingest", s.handleIngest)
 		handle("PUT /streams/{name}", s.handleStreamPut)
 		handle("DELETE /streams/{name}", s.handleStreamDelete)
@@ -194,9 +247,14 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /streams/{name}/check", s.handleStreamCheck)
 	handle("GET /streams/{name}/history", s.handleStreamHistory)
 	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
 	handle("GET /stats", s.handleStats)
 	handle("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+func (s *Server) handleProxyWrite(w http.ResponseWriter, r *http.Request) {
+	s.proxy.ServeHTTP(w, r)
 }
 
 // Index returns the currently served index snapshot.
@@ -259,7 +317,7 @@ type errorResponse struct {
 
 // options resolves per-request overrides against the server defaults.
 func (s *Server) options(p RuleParams) (core.Options, error) {
-	opt := s.opt
+	opt := *s.opt.Load()
 	switch p.Strategy {
 	case "":
 	case core.FMDV.String():
@@ -409,7 +467,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// snapshot they loaded, and the swap below publishes the new index
 	// and invalidates the rule cache in one critical section.
 	next := s.idx.Load().Clone()
-	next.IngestColumns(cols, index.BuildOptions{})
+	delta := next.IngestColumns(cols, index.BuildOptions{})
+	if s.deltaLog != nil {
+		// Append BEFORE publishing the swap: a replication reader that
+		// observes the new generation must find the delta chain already
+		// covering it, or it would conclude the follower needs a full
+		// snapshot. Inside ingestMu, so appends arrive in application
+		// order and the retained chain stays contiguous. A gap is
+		// impossible here (each delta comes from the prior apply), and
+		// Append self-heals by resetting to the new delta anyway.
+		_ = s.deltaLog.Append(delta)
+	}
 	s.mu.Lock()
 	s.idx.Store(next)
 	s.cache.clear()
@@ -519,6 +587,120 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"tau":        idx.Enum.MaxTokens,
 		"generation": idx.Generation,
 	})
+}
+
+// handleReadyz is the cluster-facing readiness probe, distinct from
+// /healthz (which reports liveness and index shape unconditionally): it
+// returns 503 until the server can meaningfully answer validation
+// traffic — immediately for a leader with a loaded index, and only after
+// the first snapshot install for a follower. Gateways health-check this
+// endpoint to decide routability.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting",
+			"reason": "no snapshot installed yet",
+		})
+		return
+	}
+	idx := s.idx.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"generation": idx.Generation,
+		"patterns":   idx.Size(),
+	})
+}
+
+// Ready reports whether /readyz answers 200.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Generation returns the served index's current generation.
+func (s *Server) Generation() uint64 { return s.idx.Load().Generation }
+
+// DeltaLog returns the server's retained delta chain (nil unless
+// configured) — the replication log a cluster leader serves from.
+func (s *Server) DeltaLog() *index.DeltaLog { return s.deltaLog }
+
+// ReplicateDelta applies one replicated delta through the same
+// copy-on-write path as /ingest: readers keep the index snapshot they
+// loaded, the swap and rule-cache invalidation share a critical section,
+// and stream rules whose evidence predates the new generation are marked
+// stale. It fails without side effects if the delta does not extend the
+// current generation.
+func (s *Server) ReplicateDelta(d *index.Delta) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	next := s.idx.Load().Clone()
+	if err := next.ApplyDelta(d); err != nil {
+		return err
+	}
+	if s.deltaLog != nil {
+		// Before the swap, for the same reason as in handleIngest.
+		_ = s.deltaLog.Append(d)
+	}
+	s.mu.Lock()
+	s.idx.Store(next)
+	s.cache.clear()
+	s.mu.Unlock()
+	s.registry.MarkStale(next.Generation)
+	s.replicatedDeltas.Add(1)
+	return nil
+}
+
+// InstallSnapshot replaces the served index and registry wholesale — the
+// follower-side bootstrap (and fallback when the leader's retention
+// window has moved past this follower). The rule cache is invalidated
+// with the index swap, monitor history survives for streams whose rule
+// version is unchanged (a re-bootstrap after a leader restart must not
+// wipe months of drift state — this replica holds the only copy for the
+// streams the gateway pins here), and the server becomes ready.
+func (s *Server) InstallSnapshot(idx *index.Index, reg *registry.Registry) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.mu.Lock()
+	s.idx.Store(idx)
+	s.cache.clear()
+	s.mu.Unlock()
+	// τ must always match the index's enumeration settings — a mismatch
+	// makes hypothesis lookups miss — so re-derive it from the
+	// replicated index no matter how the defaults were configured. The
+	// other tuning knobs (r, m, θ) keep their configured values; they
+	// are deployment policy, not index properties.
+	if idx.Enum.MaxTokens > 0 {
+		opt := *s.opt.Load()
+		opt.Tau = idx.Enum.MaxTokens
+		s.opt.Store(&opt)
+	}
+	if reg != nil {
+		s.installRegistry(reg)
+	} else {
+		// No registry came with the snapshot: nothing to diff against,
+		// so conservatively drop all rolling state.
+		s.mon.ResetAll()
+	}
+	s.snapshotInstalls.Add(1)
+	s.ready.Store(true)
+}
+
+// InstallRegistry replaces the stream registry with a freshly replicated
+// copy, resetting monitor history only for streams whose latest rule
+// version changed (or that disappeared): the gateway pins each stream to
+// one replica, so surviving history is this replica's to keep.
+func (s *Server) InstallRegistry(reg *registry.Registry) { s.installRegistry(reg) }
+
+func (s *Server) installRegistry(reg *registry.Registry) {
+	old := make(map[string]int)
+	for _, name := range s.registry.Names() {
+		if st, ok := s.registry.Get(name); ok {
+			old[name] = st.Version
+		}
+	}
+	s.registry.ReplaceFrom(reg)
+	for name, ver := range old {
+		if st, ok := s.registry.Get(name); !ok || st.Version != ver {
+			s.mon.Reset(name)
+		}
+	}
 }
 
 // Stats is the /stats payload.

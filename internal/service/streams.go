@@ -30,6 +30,12 @@ func (s *Server) Registry() *registry.Registry { return s.registry }
 // Monitor returns the server's continuous-validation engine.
 func (s *Server) Monitor() *monitor.Engine { return s.mon }
 
+// canReinfer reports whether /streams/{name}/check may re-learn a rule
+// locally: not in read-only mode, and not a follower (a follower's
+// registry is replicated from the leader; a local re-inference would be
+// silently overwritten by the next registry fetch).
+func (s *Server) canReinfer() bool { return !s.readOnly && s.writeProxy == nil }
+
 // persistRegistry saves the registry to the configured path, if any.
 // Callers hold regMu (or, for ingest invalidation, ingestMu — the two
 // paths both take regMu here).
@@ -240,7 +246,7 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := StreamCheckResponse{Stream: name, Version: stream.Version, Decision: dec}
-	if dec.Verdict.Action == monitor.Reinfer && !s.readOnly {
+	if dec.Verdict.Action == monitor.Reinfer && s.canReinfer() {
 		// The drifted batch is the stream's new normal: re-learn the
 		// rule from it with the stream's original inference options.
 		idx := s.idx.Load()
