@@ -1,10 +1,15 @@
 // Command avbench regenerates the paper's tables and figures.
+//
+// With -json, each experiment also writes a machine-readable
+// BENCH_<exp>.json record (throughput, latency quantiles, catch-up lag)
+// under -outdir, for CI artifact archiving and trend tracking.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"autovalidate/internal/evalbench"
@@ -13,6 +18,8 @@ import (
 func main() {
 	exp := flag.String("exp", "fig10a", "experiment id: table1|table2|table3|fig10a|fig10b|fig11|fig12a|fig12b|fig12c|fig12d|fig13|fig14|fig15|ingest|monitor|cluster|ablations|all")
 	scale := flag.String("scale", "default", "default|quick")
+	jsonOut := flag.Bool("json", false, "write a BENCH_<exp>.json record per experiment")
+	outdir := flag.String("outdir", ".", "directory for -json records")
 	flag.Parse()
 
 	cfg := evalbench.DefaultConfig()
@@ -27,6 +34,7 @@ func main() {
 
 	run := func(id string) {
 		t0 := time.Now()
+		rec := evalbench.BenchRecord{Experiment: id, Scale: *scale}
 		switch id {
 		case "table1":
 			fmt.Println("=== Table 1: corpus characteristics ===")
@@ -63,7 +71,11 @@ func main() {
 			fmt.Print(evalbench.FormatFigure13(env.Figure13Analysis()))
 		case "fig14":
 			fmt.Println("=== Figure 14: per-column latency ===")
-			fmt.Print(evalbench.FormatFigure14(env.Figure14Latency(30, 200)))
+			rows := env.Figure14Latency(30, 200)
+			fmt.Print(evalbench.FormatFigure14(rows))
+			for _, r := range rows {
+				rec.AddMetric("avg_ms_"+metricKey(r.Method), r.AvgMillis)
+			}
 		case "fig15":
 			fmt.Println("=== Figure 15: Kaggle schema-drift case study ===")
 			rows, err := env.Figure15Kaggle()
@@ -74,10 +86,27 @@ func main() {
 			fmt.Print(evalbench.FormatFigure15(rows))
 		case "ingest":
 			fmt.Println("=== Incremental ingest vs full rebuild (TE + 1 table) ===")
-			fmt.Print(evalbench.FormatIngestComparison(env.IngestComparison()))
+			cmp := env.IngestComparison()
+			fmt.Print(evalbench.FormatIngestComparison(cmp))
+			rec.AddMetric("rebuild_millis", cmp.RebuildMillis)
+			rec.AddMetric("ingest_millis", cmp.IngestMillis)
+			rec.AddMetric("speedup", cmp.Speedup)
 		case "monitor":
 			fmt.Println("=== Continuous validation: day-by-day replay with injected drift ===")
-			fmt.Print(evalbench.FormatMonitor(env.MonitorExperiment(evalbench.DefaultMonitorParams())))
+			res := env.MonitorExperiment(evalbench.DefaultMonitorParams())
+			fmt.Print(evalbench.FormatMonitor(res))
+			rec.AddMetric("streams", float64(res.Streams))
+			rec.AddMetric("detected", float64(res.Detected))
+			rec.AddMetric("mean_detect_latency_batches", res.MeanLatency)
+			rec.AddMetric("max_detect_latency_batches", float64(res.MaxLatency))
+			rec.AddMetric("false_alarm_rate", res.FalseAlarmRate)
+			if tp, err := env.ThroughputProbe(40, 250); err == nil {
+				rec.ValuesPerSec = tp.ValuesPerSec
+				rec.P50Millis = tp.P50Millis
+				rec.P99Millis = tp.P99Millis
+			} else {
+				fmt.Fprintln(os.Stderr, "throughput probe:", err)
+			}
 		case "cluster":
 			fmt.Println("=== Replicated cluster: gateway validate QPS (1 vs 3 replicas) and follower catch-up lag ===")
 			measure := 2 * time.Second
@@ -90,6 +119,10 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Print(evalbench.FormatCluster(res))
+			rec.CatchUpMillis = res.CatchUpMillis
+			rec.AddMetric("validate_qps_1x", res.Replicas1QPS)
+			rec.AddMetric("validate_qps_3x", res.Replicas3QPS)
+			rec.AddMetric("replica_speedup", res.Speedup)
 		case "ablations":
 			fmt.Println("=== Ablations ===")
 			fmt.Print(evalbench.FormatAblation("FMDV vs CMDV objective", env.AblationCMDV()))
@@ -100,7 +133,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
+		rec.ElapsedSeconds = time.Since(t0).Seconds()
 		fmt.Fprintf(os.Stderr, "[%s done in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if *jsonOut {
+			path, err := rec.Write(*outdir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench record:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 
 	if *exp == "all" {
@@ -111,4 +153,20 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// metricKey lowercases a display label into a metric-name-safe key.
+func metricKey(label string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			if l := sb.Len(); l > 0 && sb.String()[l-1] != '_' {
+				sb.WriteByte('_')
+			}
+		}
+	}
+	return strings.Trim(sb.String(), "_")
 }

@@ -69,6 +69,14 @@ func main() {
 			fmt.Printf("  %2d: %s\n", i, s)
 		}
 	}
+	if dom, ok := autovalidate.ProposeDomain(values); ok {
+		if len(dom.Vocab) > 0 {
+			fmt.Printf("domain:         %s (confidence %.2f, %d words)\n",
+				dom.Name, dom.Confidence, len(dom.Vocab))
+		} else {
+			fmt.Printf("domain:         %s (confidence %.2f)\n", dom.Name, dom.Confidence)
+		}
+	}
 }
 
 func loadValues(valuesPath, csvPath, colName string) ([]string, error) {

@@ -133,11 +133,16 @@ func register(idx *autovalidate.Index, regPath, dir string, opt autovalidate.Opt
 			skipped++
 			continue
 		}
-		s, err := reg.Put(streamName(col), rule, opt, idx.Generation)
+		dom, _ := autovalidate.ProposeDomain(col.Values)
+		s, err := reg.PutDomain(streamName(col), rule, opt, idx.Generation, dom)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-32s v%d %s (est FPR %.4f)\n", s.Name, s.Version, rule.Pattern, rule.EstimatedFPR)
+		suffix := ""
+		if dom.Name != "" {
+			suffix = fmt.Sprintf(" [domain %s %.2f]", dom.Name, dom.Confidence)
+		}
+		fmt.Printf("  %-32s v%d %s (est FPR %.4f)%s\n", s.Name, s.Version, rule.Pattern, rule.EstimatedFPR, suffix)
 		registered++
 	}
 	if err := reg.Save(regPath); err != nil {
@@ -172,8 +177,12 @@ func replay(idx *autovalidate.Index, regPath string, dirs []string, pol monitor.
 				return disrupted, err
 			}
 			v := dec.Verdict
-			fmt.Printf("  %-32s %-10s %d/%d non-conforming (drift p=%.3g, ewma=%.3f)\n",
-				name, v.ActionName, v.NonConforming, v.Total, v.DriftP, dec.PassEWMA)
+			domNote := ""
+			if v.Domain != "" {
+				domNote = fmt.Sprintf(", %s-invalid=%d", v.Domain, v.DomainInvalid)
+			}
+			fmt.Printf("  %-32s %-10s %d/%d non-conforming (drift p=%.3g, ewma=%.3f%s)\n",
+				name, v.ActionName, v.NonConforming, v.Total, v.DriftP, dec.PassEWMA, domNote)
 			if v.Action != monitor.Accept {
 				disrupted = true
 			}
@@ -185,7 +194,8 @@ func replay(idx *autovalidate.Index, regPath string, dirs []string, pol monitor.
 					fmt.Printf("  %-32s re-inference failed: %v\n", name, err)
 					continue
 				}
-				next, err := reg.Put(name, rule, stream.Options, idx.Generation)
+				dom, _ := autovalidate.ProposeDomain(col.Values)
+				next, err := reg.PutDomain(name, rule, stream.Options, idx.Generation, dom)
 				if err != nil {
 					return disrupted, err
 				}

@@ -5,6 +5,7 @@ import (
 
 	"autovalidate/internal/core"
 	"autovalidate/internal/dictval"
+	"autovalidate/internal/domain"
 	"autovalidate/internal/numeric"
 	"autovalidate/internal/validate"
 )
@@ -32,6 +33,41 @@ type (
 	// DictOptions configure dictionary inference.
 	DictOptions = dictval.Options
 )
+
+// Semantic-domain validation, re-exported from internal/domain: a
+// registry of validators that reject well-formed-but-invalid values
+// (broken check digits, impossible dates, bad UUID variant bits) the
+// syntactic pattern cannot see.
+type (
+	// DomainValidator is one semantic value domain (checksum, RFC
+	// grammar, calendar, accession scheme, learned vocabulary).
+	DomainValidator = domain.Validator
+	// DomainDetection is a proposed domain for a column sample.
+	DomainDetection = domain.Detection
+)
+
+// RegisterDomainValidator adds a custom validator to the process-wide
+// domain registry (built-ins register themselves from init()).
+func RegisterDomainValidator(v DomainValidator) { domain.Register(v) }
+
+// DomainValidators lists the registered validators, priority first.
+func DomainValidators() []DomainValidator { return domain.Validators() }
+
+// LookupDomainValidator finds a registered validator by name.
+func LookupDomainValidator(name string) (DomainValidator, bool) { return domain.Lookup(name) }
+
+// DetectDomain proposes the best-matching built-in domain for a column
+// sample (≥90% of sampled values must validate).
+func DetectDomain(values []string) (DomainDetection, bool) { return domain.Detect(values) }
+
+// ProposeDomain is DetectDomain plus the learned closed-vocabulary
+// fallback for categorical columns (dictval-backed).
+func ProposeDomain(values []string) (DomainDetection, bool) { return domain.Propose(values) }
+
+// NewVocabularyValidator builds a closed-vocabulary DomainValidator
+// over the given words — the reconstruction path for a persisted
+// vocabulary domain.
+func NewVocabularyValidator(words []string) DomainValidator { return domain.NewVocabulary(words) }
 
 // DefaultNumericOptions returns the numeric-rule defaults.
 func DefaultNumericOptions() NumericOptions { return numeric.DefaultOptions() }
@@ -158,21 +194,7 @@ func AutoInfer(values []string, idx *Index, cols []*Column, opt Options) (*AutoR
 	return nil, err
 }
 
-// categoricalDistinctRatio is the distinct/total threshold below which a
-// column is treated as a fixed vocabulary; minCategoricalSize guards
-// against deciding from tiny samples.
-const (
-	categoricalDistinctRatio = 0.1
-	minCategoricalSize       = 50
-)
-
-func isCategorical(values []string) bool {
-	if len(values) < minCategoricalSize {
-		return false
-	}
-	distinct := map[string]struct{}{}
-	for _, v := range values {
-		distinct[v] = struct{}{}
-	}
-	return float64(len(distinct)) <= categoricalDistinctRatio*float64(len(values))
-}
+// isCategorical delegates to the domain package's vocabulary heuristic
+// so AutoInfer and stream-domain proposal agree on what "fixed
+// vocabulary" means.
+func isCategorical(values []string) bool { return domain.LooksCategorical(values) }

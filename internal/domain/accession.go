@@ -1,0 +1,154 @@
+package domain
+
+// Scientific accession-ID domains: DOIs (the doi.org handle grammar)
+// and arXiv identifiers (both the post-2007 YYMM.NNNNN scheme and the
+// old archive/YYMMNNN scheme). The semantic layer checks the registrant
+// prefix and, for arXiv, that the embedded month actually exists —
+// 2513.12345 is pattern-perfect and impossible.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func init() {
+	Register(doiValidator{base{
+		name:     "doi",
+		domain:   "accession",
+		desc:     "DOIs: 10.<registrant>/<suffix>, doi: and https://doi.org/ forms accepted",
+		patterns: []string{"<num>.<num>/<all>+"},
+		priority: 70,
+	}})
+	Register(arxivValidator{base{
+		name:     "arxiv",
+		domain:   "accession",
+		desc:     "arXiv IDs: YYMM.NNNNN[vN] (month-checked) or archive/YYMMNNN",
+		patterns: []string{"<digit>{4}.<digit>{5}", "<digit>{4}.<digit>{4}", "<letter>+/<digit>{7}"},
+		priority: 75,
+	}})
+}
+
+// --- DOI ---
+
+type doiValidator struct{ base }
+
+// stripDOIPrefix removes the conventional presentation wrappers around
+// the bare handle.
+func stripDOIPrefix(s string) string {
+	for _, p := range []string{"https://doi.org/", "http://doi.org/", "https://dx.doi.org/", "http://dx.doi.org/"} {
+		if len(s) > len(p) && strings.EqualFold(s[:len(p)], p) {
+			return s[len(p):]
+		}
+	}
+	if len(s) > 4 && strings.EqualFold(s[:4], "doi:") {
+		return s[4:]
+	}
+	return s
+}
+
+func (doiValidator) CanValidate(s string) bool {
+	s = stripDOIPrefix(s)
+	return strings.HasPrefix(s, "10.") && strings.IndexByte(s, '/') > 3
+}
+
+func (v doiValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("doi: not a 10.<registrant>/<suffix> handle")
+	}
+	s = stripDOIPrefix(s)
+	slash := strings.IndexByte(s, '/')
+	registrant, suffix := s[3:slash], s[slash+1:]
+	if len(registrant) < 4 || len(registrant) > 9 || !allDigits(registrant) {
+		return fmt.Errorf("doi: registrant %q is not 4..9 digits", registrant)
+	}
+	if suffix == "" {
+		return errors.New("doi: empty suffix")
+	}
+	for i := 0; i < len(suffix); i++ {
+		if c := suffix[i]; c <= ' ' || c >= 0x7f {
+			return fmt.Errorf("doi: whitespace or non-printable byte in suffix at %d", i)
+		}
+	}
+	return nil
+}
+
+// --- arXiv ---
+
+// arxivArchives is the set of old-scheme archive names (the major
+// archives; subject-class suffixes like math.AG ride after a dot).
+var arxivArchives = map[string]bool{
+	"astro-ph": true, "cond-mat": true, "gr-qc": true, "hep-ex": true,
+	"hep-lat": true, "hep-ph": true, "hep-th": true, "math-ph": true,
+	"nlin": true, "nucl-ex": true, "nucl-th": true, "physics": true,
+	"quant-ph": true, "math": true, "cs": true, "q-bio": true,
+	"q-fin": true, "stat": true, "eess": true, "econ": true,
+}
+
+type arxivValidator struct{ base }
+
+func stripArxivPrefix(s string) string {
+	if len(s) > 6 && strings.EqualFold(s[:6], "arxiv:") {
+		return s[6:]
+	}
+	return s
+}
+
+// splitNewStyle returns yymm, number, ok for YYMM.NNNNN[vN] forms.
+func splitNewStyle(s string) (string, string, bool) {
+	if len(s) < 9 || s[4] != '.' {
+		return "", "", false
+	}
+	yymm, rest := s[:4], s[5:]
+	if v := strings.IndexByte(rest, 'v'); v >= 0 {
+		if !allDigits(rest[v+1:]) {
+			return "", "", false
+		}
+		rest = rest[:v]
+	}
+	if !allDigits(yymm) || len(rest) < 4 || len(rest) > 5 || !allDigits(rest) {
+		return "", "", false
+	}
+	return yymm, rest, true
+}
+
+func (arxivValidator) CanValidate(s string) bool {
+	s = stripArxivPrefix(s)
+	if _, _, ok := splitNewStyle(s); ok {
+		return true
+	}
+	// Old style: archive[.SC]/YYMMNNN.
+	slash := strings.IndexByte(s, '/')
+	if slash <= 0 || !allDigits(s[slash+1:]) || len(s)-slash-1 != 7 {
+		return false
+	}
+	archive := s[:slash]
+	if dot := strings.IndexByte(archive, '.'); dot >= 0 {
+		archive = archive[:dot]
+	}
+	return arxivArchives[archive]
+}
+
+func checkArxivMonth(yymm string) error {
+	mm := int(yymm[2]-'0')*10 + int(yymm[3]-'0')
+	if mm < 1 || mm > 12 {
+		return fmt.Errorf("arxiv: month %02d does not exist", mm)
+	}
+	return nil
+}
+
+func (v arxivValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("arxiv: neither YYMM.NNNNN nor archive/YYMMNNN")
+	}
+	s = stripArxivPrefix(s)
+	if yymm, _, ok := splitNewStyle(s); ok {
+		// The new scheme started 2007-04; earlier YYMMs are impossible.
+		if yymm < "0704" && yymm[0] == '0' {
+			return fmt.Errorf("arxiv: new-style id %s predates 2007-04", yymm)
+		}
+		return checkArxivMonth(yymm)
+	}
+	slash := strings.IndexByte(s, '/')
+	return checkArxivMonth(s[slash+1 : slash+5])
+}

@@ -1,0 +1,219 @@
+package domain
+
+// Checksum-verified identifier domains: ISBN-10, ISBN-13, IBAN, and
+// Luhn (credit-card) numbers. These are the sharpest examples of the
+// syntactic/semantic gap — every invalid check digit produces a value
+// the column's inferred pattern still matches.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func init() {
+	Register(isbn10Validator{base{
+		name:     "isbn10",
+		domain:   "checksum",
+		desc:     "ISBN-10 book numbers (mod-11 check digit, X allowed)",
+		patterns: []string{"<digit>{10}", "<digit>{9}X", "<digit>-<digit>{5}-<digit>{3}-<digit>"},
+		priority: 84,
+	}})
+	Register(isbn13Validator{base{
+		name:     "isbn13",
+		domain:   "checksum",
+		desc:     "ISBN-13 book numbers (978/979 prefix, alternating 1-3 weights mod 10)",
+		patterns: []string{"<digit>{13}", "<digit>{3}-<digit>-<digit>{5}-<digit>{3}-<digit>"},
+		priority: 85,
+	}})
+	Register(ibanValidator{base{
+		name:     "iban",
+		domain:   "checksum",
+		desc:     "International Bank Account Numbers (ISO 13616 mod-97)",
+		patterns: []string{"<letter>{2}<digit>{2}<alnum>+"},
+		priority: 80,
+	}})
+	Register(luhnValidator{base{
+		name:     "luhn",
+		domain:   "checksum",
+		desc:     "Luhn-checked numbers: credit/debit cards, IMEIs (mod-10 double-every-other)",
+		patterns: []string{"<digit>{16}", "<digit>{15}", "<digit>{4} <digit>{4} <digit>{4} <digit>{4}"},
+		priority: 40, // generic: any digit run can carry a Luhn digit
+	}})
+}
+
+// stripSep removes the separators identifier domains conventionally
+// allow (spaces and hyphens), leaving the significant characters.
+func stripSep(s string) string {
+	if !strings.ContainsAny(s, " -") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c != ' ' && c != '-' {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// --- ISBN-10 ---
+
+type isbn10Validator struct{ base }
+
+func (isbn10Validator) CanValidate(s string) bool {
+	s = stripSep(s)
+	if len(s) != 10 {
+		return false
+	}
+	last := s[9]
+	return allDigits(s[:9]) && (last == 'X' || last == 'x' || (last >= '0' && last <= '9'))
+}
+
+func (v isbn10Validator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("isbn10: not 9 digits plus a digit-or-X check character")
+	}
+	s = stripSep(s)
+	sum := 0
+	for i := 0; i < 9; i++ {
+		sum += (10 - i) * int(s[i]-'0')
+	}
+	switch last := s[9]; {
+	case last == 'X' || last == 'x':
+		sum += 10
+	default:
+		sum += int(last - '0')
+	}
+	if sum%11 != 0 {
+		return fmt.Errorf("isbn10: check digit mismatch (weighted sum %% 11 = %d)", sum%11)
+	}
+	return nil
+}
+
+// --- ISBN-13 ---
+
+type isbn13Validator struct{ base }
+
+func (isbn13Validator) CanValidate(s string) bool {
+	s = stripSep(s)
+	return len(s) == 13 && allDigits(s) &&
+		(strings.HasPrefix(s, "978") || strings.HasPrefix(s, "979"))
+}
+
+func (v isbn13Validator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("isbn13: not 13 digits with a 978/979 bookland prefix")
+	}
+	s = stripSep(s)
+	sum := 0
+	for i := 0; i < 13; i++ {
+		w := 1
+		if i%2 == 1 {
+			w = 3
+		}
+		sum += w * int(s[i]-'0')
+	}
+	if sum%10 != 0 {
+		return fmt.Errorf("isbn13: check digit mismatch (weighted sum %% 10 = %d)", sum%10)
+	}
+	return nil
+}
+
+// --- IBAN ---
+
+type ibanValidator struct{ base }
+
+func (ibanValidator) CanValidate(s string) bool {
+	s = stripSep(s)
+	// ISO 13616: two uppercase country letters, two check digits, then
+	// up to 30 alphanumerics; the shortest national format is 15.
+	if len(s) < 15 || len(s) > 34 {
+		return false
+	}
+	if s[0] < 'A' || s[0] > 'Z' || s[1] < 'A' || s[1] > 'Z' {
+		return false
+	}
+	if !allDigits(s[2:4]) {
+		return false
+	}
+	for i := 4; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'A' || c > 'Z') && (c < 'a' || c > 'z') {
+			return false
+		}
+	}
+	return true
+}
+
+func (v ibanValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("iban: not CCdd + 11..30 alphanumerics")
+	}
+	s = strings.ToUpper(stripSep(s))
+	// Move the first four characters to the end, map letters to 10..35,
+	// and take the whole number mod 97 incrementally.
+	rearranged := s[4:] + s[:4]
+	rem := 0
+	for i := 0; i < len(rearranged); i++ {
+		c := rearranged[i]
+		if c >= '0' && c <= '9' {
+			rem = (rem*10 + int(c-'0')) % 97
+		} else {
+			n := int(c-'A') + 10
+			rem = (rem*100 + n) % 97
+		}
+	}
+	if rem != 1 {
+		return fmt.Errorf("iban: mod-97 check failed (remainder %d, want 1)", rem)
+	}
+	return nil
+}
+
+// --- Luhn ---
+
+type luhnValidator struct{ base }
+
+func (luhnValidator) CanValidate(s string) bool {
+	s = stripSep(s)
+	// Payment-card and IMEI lengths; shorter digit runs are almost
+	// always something else (years, counters, zip codes).
+	return len(s) >= 12 && len(s) <= 19 && allDigits(s)
+}
+
+func (v luhnValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("luhn: not a 12..19 digit number")
+	}
+	s = stripSep(s)
+	sum := 0
+	double := false
+	for i := len(s) - 1; i >= 0; i-- {
+		d := int(s[i] - '0')
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	if sum%10 != 0 {
+		return fmt.Errorf("luhn: check digit mismatch (sum %% 10 = %d)", sum%10)
+	}
+	return nil
+}

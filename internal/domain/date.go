@@ -1,0 +1,76 @@
+package domain
+
+// Calendar-aware date validation. A date column's inferred pattern
+// (<digit>{4}-<digit>{2}-<digit>{2}) happily accepts 2021-02-30 and
+// month 13; time.Parse applies the civil calendar — month ranges, days
+// per month, leap years — which is exactly the semantic layer the
+// pattern lacks.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+func init() {
+	Register(dateValidator{base{
+		name:   "date",
+		domain: "calendar",
+		desc:   "calendar-valid dates and timestamps in common layouts",
+		patterns: []string{
+			"<digit>{4}-<digit>{2}-<digit>{2}",
+			"<digit>{4}/<digit>{2}/<digit>{2}",
+			"<letter>{3} <digit>{2} <digit>{4}",
+			"<digit>{4}-<digit>{2}-<digit>{2} <digit>{2}:<digit>{2}:<digit>{2}",
+		},
+		priority: 50,
+	}})
+}
+
+// dateLayouts are the accepted time.Parse layouts, most common first.
+// All are unambiguous (no US-vs-EU day/month confusion) and all are at
+// least 10 characters, matching CanValidate's length gate.
+var dateLayouts = []string{
+	"2006-01-02",
+	"2006/01/02",
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	time.RFC3339,
+	"02 Jan 2006",
+	"Jan 02 2006",
+	"January 2, 2006",
+}
+
+type dateValidator struct{ base }
+
+func (dateValidator) CanValidate(s string) bool {
+	if len(s) < 10 || len(s) > 35 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+func (v dateValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("date: wrong length or no digits")
+	}
+	for _, layout := range dateLayouts {
+		t, err := time.Parse(layout, s)
+		if err != nil {
+			continue
+		}
+		// time.Parse enforces the calendar (Feb 30 and month 13 error
+		// out); the remaining check is plausibility of the year, so a
+		// column of version strings like "0001-02-03" is not claimed.
+		if y := t.Year(); y < 1200 || y > 2999 {
+			return fmt.Errorf("date: implausible year %d", y)
+		}
+		return nil
+	}
+	return errors.New("date: no layout parses (impossible date or unknown format)")
+}

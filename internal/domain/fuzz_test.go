@@ -1,0 +1,45 @@
+package domain
+
+import "testing"
+
+// FuzzDomainDetect feeds arbitrary bytes through every registered
+// validator and the detection path. Two properties must hold for any
+// input: nothing panics, and the CanValidate-superset-of-Validate
+// contract is honored (a value Validate accepts must have CanValidate
+// true, or detection routing would silently skip valid values).
+func FuzzDomainDetect(f *testing.F) {
+	seeds := []string{
+		"", " ", "-", "0306406152", "9780306406157", "979-10-90636-07-1",
+		"GB82WEST12345698765432", "4111 1111 1111 1111",
+		"f47ac10b-58cc-4372-a567-0e02b2c3d479",
+		"00000000-0000-0000-0000-000000000000",
+		"alice@example.com", "https://example.com/path?q=1",
+		"192.168.001.001", "2001:db8::1", "fe80::1%eth0",
+		"2024-02-29", "2021-02-30", "2021-06-01T12:30:45Z",
+		"10.1145/3448016.3457250", "doi:10.1000/182",
+		"arXiv:2104.08821v2", "hep-th/9901001",
+		"\x00\xff\xfe", "０１２３４５６７８９", "ＡＢＣ@ｅｘ.ｃｏｍ",
+		"999999999999999999999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	vocab := NewVocabulary([]string{"alpha", "beta", "gamma"})
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, v := range append(Validators(), vocab) {
+			err := v.Validate(s)
+			if err == nil && !v.CanValidate(s) {
+				t.Errorf("%s: Validate(%q) accepted but CanValidate is false", v.Name(), s)
+			}
+		}
+		// The detection paths must also survive arbitrary values; a
+		// 60-wide column of one repeated value exercises the vocabulary
+		// fallback (LooksCategorical needs >= 50 values).
+		col := make([]string, 60)
+		for i := range col {
+			col[i] = s
+		}
+		Detect(col)
+		Propose(col)
+	})
+}

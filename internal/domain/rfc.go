@@ -1,0 +1,285 @@
+package domain
+
+// RFC-grammar domains: UUID (RFC 9562), email addresses (a pragmatic
+// RFC 5321/5322 subset), URLs (RFC 3986, http/https/ftp), and IP
+// addresses (RFC 791 dotted-quad / RFC 4291 IPv6 text forms). The
+// semantic layer here is the part a token pattern cannot see: UUID
+// version/variant bits, hostname label rules, octet ranges and the
+// leading-zero ambiguity, valid hex groupings.
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"net/url"
+	"strings"
+)
+
+func init() {
+	Register(uuidValidator{base{
+		name:     "uuid",
+		domain:   "rfc",
+		desc:     "RFC 9562 UUIDs (8-4-4-4-12 hex with valid version and variant bits)",
+		patterns: []string{"<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}"},
+		priority: 90,
+	}})
+	Register(emailValidator{base{
+		name:     "email",
+		domain:   "rfc",
+		desc:     "email addresses (RFC 5321 subset: local@domain with valid labels)",
+		patterns: []string{"<alnum>+@<alnum>+.<letter>+"},
+		priority: 60,
+	}})
+	Register(urlValidator{base{
+		name:     "url",
+		domain:   "rfc",
+		desc:     "absolute http/https/ftp URLs with a valid host",
+		patterns: []string{"<letter>+://<all>+"},
+		priority: 55,
+	}})
+	Register(ipv4Validator{base{
+		name:     "ipv4",
+		domain:   "rfc",
+		desc:     "IPv4 dotted-quad addresses (octets 0..255, no leading zeros)",
+		patterns: []string{"<num>.<num>.<num>.<num>"},
+		priority: 64,
+	}})
+	Register(ipv6Validator{base{
+		name:     "ipv6",
+		domain:   "rfc",
+		desc:     "IPv6 addresses in RFC 4291 text form",
+		patterns: []string{"<alnum>+:<alnum>+:<all>+"},
+		priority: 65,
+	}})
+}
+
+// --- UUID ---
+
+type uuidValidator struct{ base }
+
+func isHexLower(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (uuidValidator) CanValidate(s string) bool {
+	if len(s) != 36 {
+		return false
+	}
+	for i := 0; i < 36; i++ {
+		switch i {
+		case 8, 13, 18, 23:
+			if s[i] != '-' {
+				return false
+			}
+		default:
+			if !isHexLower(s[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (v uuidValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("uuid: not 8-4-4-4-12 hexadecimal")
+	}
+	ls := strings.ToLower(s)
+	// The nil and max UUIDs are defined special values (RFC 9562 §5.9,
+	// §5.10) with out-of-band version/variant fields.
+	if ls == "00000000-0000-0000-0000-000000000000" ||
+		ls == "ffffffff-ffff-ffff-ffff-ffffffffffff" {
+		return nil
+	}
+	version := ls[14]
+	if version < '1' || version > '8' {
+		return fmt.Errorf("uuid: invalid version nibble %q", string(version))
+	}
+	switch ls[19] {
+	case '8', '9', 'a', 'b': // variant 10xx: OSF DCE / RFC 9562
+		return nil
+	default:
+		return fmt.Errorf("uuid: invalid variant bits in %q (want 8, 9, a, or b)", string(s[19]))
+	}
+}
+
+// --- email ---
+
+type emailValidator struct{ base }
+
+func (emailValidator) CanValidate(s string) bool {
+	at := strings.IndexByte(s, '@')
+	return at > 0 && at < len(s)-1 && strings.IndexByte(s[at+1:], '@') < 0
+}
+
+// emailLocalByte reports whether c may appear in an unquoted local part
+// (RFC 5322 atext plus the dot handled separately).
+func emailLocalByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	return strings.IndexByte("!#$%&'*+/=?^_`{|}~-", c) >= 0
+}
+
+func (v emailValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("email: need exactly one @ with text on both sides")
+	}
+	if len(s) > 254 {
+		return errors.New("email: longer than 254 octets")
+	}
+	at := strings.IndexByte(s, '@')
+	local, domain := s[:at], s[at+1:]
+	if len(local) > 64 {
+		return errors.New("email: local part longer than 64 octets")
+	}
+	if strings.HasPrefix(local, ".") || strings.HasSuffix(local, ".") || strings.Contains(local, "..") {
+		return errors.New("email: local part has a leading, trailing, or doubled dot")
+	}
+	for i := 0; i < len(local); i++ {
+		if c := local[i]; c != '.' && !emailLocalByte(c) {
+			return fmt.Errorf("email: invalid character %q in local part", string(c))
+		}
+	}
+	return validHostname(domain, true)
+}
+
+// validHostname applies the RFC 1035/5321 label rules; needDot requires
+// at least two labels with an alphabetic top-level label (emails and
+// public URLs), which rejects bare words that match the grammar but
+// name nothing.
+func validHostname(host string, needDot bool) error {
+	if host == "" || len(host) > 253 {
+		return errors.New("hostname: empty or longer than 253 octets")
+	}
+	labels := strings.Split(host, ".")
+	if needDot && len(labels) < 2 {
+		return errors.New("hostname: need at least two dot-separated labels")
+	}
+	for _, l := range labels {
+		if l == "" || len(l) > 63 {
+			return errors.New("hostname: empty or over-long label")
+		}
+		if l[0] == '-' || l[len(l)-1] == '-' {
+			return fmt.Errorf("hostname: label %q starts or ends with a hyphen", l)
+		}
+		for i := 0; i < len(l); i++ {
+			c := l[i]
+			if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') && (c < '0' || c > '9') && c != '-' {
+				return fmt.Errorf("hostname: invalid character %q in label %q", string(c), l)
+			}
+		}
+	}
+	if needDot {
+		tld := labels[len(labels)-1]
+		if len(tld) < 2 {
+			return errors.New("hostname: single-character top-level label")
+		}
+		for i := 0; i < len(tld); i++ {
+			if c := tld[i]; (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') {
+				return errors.New("hostname: non-alphabetic top-level label")
+			}
+		}
+	}
+	return nil
+}
+
+// --- URL ---
+
+type urlValidator struct{ base }
+
+func (urlValidator) CanValidate(s string) bool {
+	return strings.Contains(s, "://")
+}
+
+func (v urlValidator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("url: not an absolute URL (no scheme)")
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return fmt.Errorf("url: %w", err)
+	}
+	switch u.Scheme {
+	case "http", "https", "ftp":
+	default:
+		return fmt.Errorf("url: scheme %q not in {http, https, ftp}", u.Scheme)
+	}
+	host := u.Hostname()
+	if host == "" {
+		return errors.New("url: empty host")
+	}
+	if port := u.Port(); port != "" {
+		n := 0
+		for i := 0; i < len(port); i++ {
+			if port[i] < '0' || port[i] > '9' {
+				return fmt.Errorf("url: non-numeric port %q", port)
+			}
+			n = n*10 + int(port[i]-'0')
+		}
+		if n == 0 || n > 65535 {
+			return fmt.Errorf("url: port %d out of range", n)
+		}
+	}
+	// Hosts may be IP literals or hostnames; localhost gets a pass on
+	// the two-label requirement.
+	if _, err := netip.ParseAddr(host); err == nil {
+		return nil
+	}
+	return validHostname(host, host != "localhost")
+}
+
+// --- IPv4 ---
+
+type ipv4Validator struct{ base }
+
+func (ipv4Validator) CanValidate(s string) bool {
+	if len(s) < 7 || len(s) > 15 || strings.Count(s, ".") != 3 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c != '.' && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (v ipv4Validator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("ipv4: not four dot-separated decimal octets")
+	}
+	// netip is strict: octets 0..255 and no leading zeros, which is the
+	// semantic trap ("192.168.001.001" is ambiguous octal in inet_aton).
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return fmt.Errorf("ipv4: %w", err)
+	}
+	if !addr.Is4() {
+		return errors.New("ipv4: parsed but not an IPv4 address")
+	}
+	return nil
+}
+
+// --- IPv6 ---
+
+type ipv6Validator struct{ base }
+
+func (ipv6Validator) CanValidate(s string) bool {
+	return strings.Count(s, ":") >= 2
+}
+
+func (v ipv6Validator) Validate(s string) error {
+	if !v.CanValidate(s) {
+		return errors.New("ipv6: fewer than two colons")
+	}
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return fmt.Errorf("ipv6: %w", err)
+	}
+	if !addr.Is6() {
+		return errors.New("ipv6: parsed but not an IPv6 address")
+	}
+	return nil
+}

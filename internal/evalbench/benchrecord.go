@@ -1,0 +1,142 @@
+package evalbench
+
+// Machine-readable benchmark records. Every avbench run can drop a
+// BENCH_<experiment>.json next to its human-readable tables, so CI can
+// archive throughput and latency trends without scraping stdout.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/datagen"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/registry"
+)
+
+// BenchRecord is one experiment run in machine-readable form. The three
+// named latency/throughput fields are populated by the experiments they
+// apply to (zero means "not measured"); everything else rides in
+// Metrics, keyed per experiment.
+type BenchRecord struct {
+	Experiment     string  `json:"experiment"`
+	Scale          string  `json:"scale"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ValuesPerSec is end-to-end validation throughput; P50Millis and
+	// P99Millis are per-batch check latency quantiles.
+	ValuesPerSec float64 `json:"values_per_sec,omitempty"`
+	P50Millis    float64 `json:"p50_millis,omitempty"`
+	P99Millis    float64 `json:"p99_millis,omitempty"`
+	// CatchUpMillis is follower catch-up lag (cluster experiment).
+	CatchUpMillis float64 `json:"catch_up_millis,omitempty"`
+	// Metrics carries experiment-specific scalars (speedups, QPS,
+	// false-alarm rates, detection latencies).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// AddMetric records one named scalar, allocating the map on first use.
+func (r *BenchRecord) AddMetric(name string, value float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = value
+}
+
+// Write persists the record as BENCH_<experiment>.json under dir
+// (created if missing) and returns the file path.
+func (r BenchRecord) Write(dir string) (string, error) {
+	if r.Experiment == "" {
+		return "", fmt.Errorf("benchrecord: empty experiment id")
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Experiment+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ThroughputResult is the outcome of ThroughputProbe: end-to-end
+// continuous-validation throughput with per-batch latency quantiles.
+type ThroughputResult struct {
+	Batches      int
+	Values       int
+	ValuesPerSec float64
+	P50Millis    float64
+	P99Millis    float64
+}
+
+// ThroughputProbe measures steady-state stream checking: it infers a
+// rule for one machine-generated column against the Enterprise index,
+// registers it as a stream, and times monitor checks over fresh batches
+// of the same domain (all accepting — this is the happy-path cost every
+// conforming batch pays).
+func (e *Env) ThroughputProbe(batches, batchSize int) (ThroughputResult, error) {
+	opt := core.DefaultOptions()
+	opt.R, opt.M, opt.Theta, opt.Tau = e.Cfg.R, e.Cfg.M, e.Cfg.Theta, e.Cfg.Tau
+
+	train, err := datagen.FreshColumn("timestamp_us", batchSize, e.Cfg.Seed+313)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	rule, err := core.Infer(train, e.IdxE, opt)
+	if err != nil {
+		return ThroughputResult{}, fmt.Errorf("throughput probe: %w", err)
+	}
+	reg := registry.New()
+	stream, err := reg.Put("probe", rule, opt, e.IdxE.Generation)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	eng := monitor.NewEngine(monitor.DefaultPolicy())
+
+	// Pre-generate the batches so data synthesis stays off the clock.
+	feed := make([][]string, batches)
+	for i := range feed {
+		if feed[i], err = datagen.FreshColumn("timestamp_us", batchSize, e.Cfg.Seed+400+int64(i)); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+
+	lat := make([]float64, 0, batches)
+	values := 0
+	start := time.Now()
+	for _, batch := range feed {
+		t0 := time.Now()
+		if _, err := eng.Check(stream, batch); err != nil {
+			return ThroughputResult{}, err
+		}
+		lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		values += len(batch)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(lat)
+	quantile := func(q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	res := ThroughputResult{
+		Batches:   batches,
+		Values:    values,
+		P50Millis: quantile(0.50),
+		P99Millis: quantile(0.99),
+	}
+	if elapsed > 0 {
+		res.ValuesPerSec = float64(values) / elapsed
+	}
+	return res, nil
+}

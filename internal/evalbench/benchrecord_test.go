@@ -1,0 +1,63 @@
+package evalbench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchRecordWrite(t *testing.T) {
+	dir := t.TempDir()
+	rec := BenchRecord{
+		Experiment:     "monitor",
+		Scale:          "quick",
+		ElapsedSeconds: 1.5,
+		ValuesPerSec:   1e6,
+		P50Millis:      0.04,
+		P99Millis:      0.2,
+	}
+	rec.AddMetric("streams", 24)
+
+	path, err := rec.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_monitor.json" {
+		t.Errorf("record path = %s, want BENCH_monitor.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if back.Experiment != "monitor" || back.ValuesPerSec != 1e6 || back.Metrics["streams"] != 24 {
+		t.Errorf("round-trip = %+v", back)
+	}
+
+	// A nested output directory is created on demand; an empty
+	// experiment id is refused.
+	if _, err := (BenchRecord{Experiment: "x"}).Write(filepath.Join(dir, "a", "b")); err != nil {
+		t.Errorf("nested outdir: %v", err)
+	}
+	if _, err := (BenchRecord{}).Write(dir); err == nil {
+		t.Error("empty experiment id accepted")
+	}
+}
+
+func TestThroughputProbe(t *testing.T) {
+	e := quickEnv(t)
+	res, err := e.ThroughputProbe(10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 10 || res.Values != 1000 {
+		t.Errorf("probe counts = %+v", res)
+	}
+	if res.ValuesPerSec <= 0 || res.P99Millis < res.P50Millis {
+		t.Errorf("probe stats implausible: %+v", res)
+	}
+}

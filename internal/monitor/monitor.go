@@ -13,12 +13,21 @@
 // rule trained on slightly dirty data should not see non-conformance
 // exceed what FMDV's evidence predicted, and the Clopper–Pearson lower
 // bound on the observed rate makes the exceedance auditable.
+//
+// When the stream's registry entry carries a detected semantic domain
+// (internal/domain), the monitor additionally runs that domain's
+// validator over the batch. Values that pass the syntactic pattern but
+// fail the semantic check — a credit-card number with a broken Luhn
+// digit, Feb 30 in a date column — are invisible to the homogeneity
+// test, so they are added to the binomial test's evidence count: the
+// pattern proposes, the domain validator sharpens.
 package monitor
 
 import (
 	"fmt"
 	"sync"
 
+	"autovalidate/internal/domain"
 	"autovalidate/internal/registry"
 	"autovalidate/internal/stats"
 	"autovalidate/internal/validate"
@@ -124,6 +133,16 @@ type Verdict struct {
 	ActionName string `json:"action"`
 	// Examples holds a few non-conforming values for triage.
 	Examples []string `json:"examples,omitempty"`
+	// Domain names the semantic domain the batch was additionally
+	// checked against (empty when the stream has none). DomainInvalid
+	// counts values failing the semantic check; of those,
+	// DomainOnlyInvalid passed the syntactic pattern — the failures only
+	// the domain validator can see, which join the binomial drift
+	// evidence. DomainExamples holds a few of them for triage.
+	Domain            string   `json:"domain,omitempty"`
+	DomainInvalid     int      `json:"domain_invalid,omitempty"`
+	DomainOnlyInvalid int      `json:"domain_only_invalid,omitempty"`
+	DomainExamples    []string `json:"domain_examples,omitempty"`
 }
 
 // Decision is the outcome of one Check call: the batch's verdict plus
@@ -145,6 +164,7 @@ type History struct {
 	Batches       int     `json:"batches"`
 	Values        int     `json:"values"`
 	NonConforming int     `json:"non_conforming"`
+	DomainInvalid int     `json:"domain_invalid,omitempty"`
 	Alarms        int     `json:"alarms"`
 	Quarantined   int     `json:"quarantined"`
 	Reinfers      int     `json:"reinfers"`
@@ -164,6 +184,7 @@ type streamState struct {
 	seq           int
 	values        int
 	nonConforming int
+	domainInvalid int
 	alarms        int
 	quarantined   int
 	reinfers      int
@@ -248,6 +269,27 @@ func fprBound(rule *validate.Rule) float64 {
 	return bound
 }
 
+// validatorFor resolves the stream's persisted domain to a runnable
+// validator: a learned vocabulary is reconstructed from the persisted
+// dictionary, built-ins come from the registry. A domain name this
+// build does not know (a registry written by a newer or embedding
+// binary) degrades to syntactic-only monitoring rather than failing
+// the stream.
+func validatorFor(d domain.Detection) domain.Validator {
+	if d.Name == "" {
+		return nil
+	}
+	if d.Name == domain.VocabularyName && len(d.Vocab) > 0 {
+		return domain.NewVocabulary(d.Vocab)
+	}
+	v, _ := domain.Lookup(d.Name)
+	return v
+}
+
+// maxDomainExamples bounds the semantically invalid values retained per
+// verdict, mirroring the pattern report's example cap.
+const maxDomainExamples = 5
+
 // Check evaluates one batch of the stream against its rule and folds
 // the verdict into the stream's rolling history. The stream snapshot
 // comes from the registry; Check never mutates it.
@@ -264,22 +306,44 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 	if err != nil {
 		return Decision{}, fmt.Errorf("monitor: stream %q: %w", stream.Name, err)
 	}
-	bound := fprBound(stream.Rule)
-	driftP := stats.BinomialTailP(rep.NonConforming, rep.Total, bound)
-	rateLo, _ := stats.ClopperPearson(rep.NonConforming, rep.Total, e.policy.Confidence)
 
-	small := rep.Total < e.policy.MinBatch
-	alarmed := !small && (rep.Alarm || driftP < e.policy.Alpha)
-
+	// Semantic pass: run the stream's domain validator, if any, and
+	// count the failures the pattern cannot see. Only values that
+	// *conform* to the pattern add evidence — pattern-non-conforming
+	// values are already counted by the syntactic report, and counting
+	// them twice would double-weight ordinary drift.
 	v := Verdict{
 		StreamVersion: stream.Version,
 		Total:         rep.Total,
 		NonConforming: rep.NonConforming,
 		PValue:        rep.PValue,
-		DriftP:        driftP,
-		RateLo:        rateLo,
 		Examples:      rep.Examples,
 	}
+	if dv := validatorFor(stream.Domain); dv != nil {
+		v.Domain = stream.Domain.Name
+		for _, val := range values {
+			if dv.Validate(val) == nil {
+				continue
+			}
+			v.DomainInvalid++
+			if stream.Rule.Pattern.Match(val) {
+				v.DomainOnlyInvalid++
+				if len(v.DomainExamples) < maxDomainExamples {
+					v.DomainExamples = append(v.DomainExamples, val)
+				}
+			}
+		}
+	}
+
+	bound := fprBound(stream.Rule)
+	evidence := rep.NonConforming + v.DomainOnlyInvalid
+	driftP := stats.BinomialTailP(evidence, rep.Total, bound)
+	rateLo, _ := stats.ClopperPearson(evidence, rep.Total, e.policy.Confidence)
+	v.DriftP = driftP
+	v.RateLo = rateLo
+
+	small := rep.Total < e.policy.MinBatch
+	alarmed := !small && (rep.Alarm || driftP < e.policy.Alpha)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -310,7 +374,9 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 	}
 	v.ActionName = v.Action.String()
 
-	passRate := 1 - float64(rep.NonConforming)/float64(rep.Total)
+	// Semantically invalid values count against the pass rate exactly
+	// once (evidence is the union of the two failure classes).
+	passRate := 1 - float64(evidence)/float64(rep.Total)
 	if st.seq == 1 {
 		st.ewma = passRate
 	} else {
@@ -318,6 +384,7 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 	}
 	st.values += rep.Total
 	st.nonConforming += rep.NonConforming
+	st.domainInvalid += v.DomainInvalid
 	switch v.Action {
 	case Alarm:
 		st.alarms++
@@ -373,6 +440,7 @@ func (e *Engine) History(name string) (History, bool) {
 		Batches:       st.seq,
 		Values:        st.values,
 		NonConforming: st.nonConforming,
+		DomainInvalid: st.domainInvalid,
 		Alarms:        st.alarms,
 		Quarantined:   st.quarantined,
 		Reinfers:      st.reinfers,

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"autovalidate/internal/core"
+	"autovalidate/internal/domain"
 	"autovalidate/internal/validate"
 )
 
@@ -38,13 +39,17 @@ type headerFile struct {
 	NumStreams int `json:"num_streams"`
 }
 
-// versionFile is one persisted stream version.
+// versionFile is one persisted stream version. Domain was added after
+// the format shipped; it is optional in both directions, so AVREG1
+// files written before semantic domains existed load with a zero
+// Detection and new files stay plain AVREG1.
 type versionFile struct {
-	Version         int            `json:"version"`
-	Rule            *validate.Rule `json:"rule"`
-	Options         core.Options   `json:"options"`
-	IndexGeneration uint64         `json:"index_generation"`
-	Stale           bool           `json:"stale,omitempty"`
+	Version         int               `json:"version"`
+	Rule            *validate.Rule    `json:"rule"`
+	Options         core.Options      `json:"options"`
+	Domain          *domain.Detection `json:"domain,omitempty"`
+	IndexGeneration uint64            `json:"index_generation"`
+	Stale           bool              `json:"stale,omitempty"`
 }
 
 // streamFile is one stream's section: the whole version history.
@@ -81,13 +86,18 @@ func (r *Registry) Encode(w io.Writer) error {
 	for name, rec := range r.streams {
 		sf := streamFile{Name: name}
 		for _, v := range rec.versions {
-			sf.Versions = append(sf.Versions, versionFile{
+			vf := versionFile{
 				Version:         v.Version,
 				Rule:            v.Rule,
 				Options:         v.Options,
 				IndexGeneration: v.IndexGeneration,
 				Stale:           v.Stale,
-			})
+			}
+			if v.Domain.Name != "" {
+				dom := v.Domain
+				vf.Domain = &dom
+			}
+			sf.Versions = append(sf.Versions, vf)
 		}
 		payload, err := json.Marshal(&sf)
 		if err != nil {
@@ -218,14 +228,18 @@ func decode(path string, f io.Reader) (*Registry, error) {
 			if v.Rule == nil {
 				return nil, corrupt("stream %q version %d has no rule", sf.Name, v.Version)
 			}
-			rec.versions = append(rec.versions, Stream{
+			s := Stream{
 				Name:            sf.Name,
 				Version:         v.Version,
 				Rule:            v.Rule,
 				Options:         v.Options,
 				IndexGeneration: v.IndexGeneration,
 				Stale:           v.Stale,
-			})
+			}
+			if v.Domain != nil {
+				s.Domain = *v.Domain
+			}
+			rec.versions = append(rec.versions, s)
 		}
 		reg.streams[sf.Name] = rec
 	}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"autovalidate/internal/core"
+	"autovalidate/internal/domain"
 	"autovalidate/internal/validate"
 )
 
@@ -37,6 +38,11 @@ type Stream struct {
 	// Options are the inference parameters the rule was produced with,
 	// kept so re-inference after drift uses the same configuration.
 	Options core.Options
+	// Domain is the semantic domain detected from the training column,
+	// if any (zero Name means purely syntactic validation). For learned
+	// closed-vocabulary domains the Detection carries the vocabulary
+	// itself, so the validator is reconstructable after a reload.
+	Domain domain.Detection
 	// IndexGeneration is the offline index's generation counter at
 	// inference time — the provenance of the rule's FPR evidence.
 	IndexGeneration uint64
@@ -97,6 +103,13 @@ func New() *Registry {
 // new version inferred at index generation gen, and the new version's
 // snapshot is returned. A nil rule or empty name is an error.
 func (r *Registry) Put(name string, rule *validate.Rule, opt core.Options, gen uint64) (Stream, error) {
+	return r.PutDomain(name, rule, opt, gen, domain.Detection{})
+}
+
+// PutDomain is Put carrying a detected semantic domain: the detection
+// is persisted alongside the compiled rule, and the monitor runs the
+// named domain validator over every future batch of the stream.
+func (r *Registry) PutDomain(name string, rule *validate.Rule, opt core.Options, gen uint64, dom domain.Detection) (Stream, error) {
 	if name == "" {
 		return Stream{}, fmt.Errorf("registry: empty stream name")
 	}
@@ -115,6 +128,7 @@ func (r *Registry) Put(name string, rule *validate.Rule, opt core.Options, gen u
 		Version:         len(rec.versions) + 1,
 		Rule:            rule,
 		Options:         opt,
+		Domain:          dom,
 		IndexGeneration: gen,
 	}
 	rec.versions = append(rec.versions, s)

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/registry"
+)
+
+// luhnCard returns a 16-digit number whose last digit makes the Luhn
+// checksum pass — a synthetic valid payment-card number.
+func luhnCard(seed int) string {
+	digits := make([]int, 16)
+	x := seed*2654435761 + 12345
+	for i := 0; i < 15; i++ {
+		x = x*1103515245 + 12345
+		digits[i] = (x >> 16) & 0x7fffffff % 10
+	}
+	sum := 0
+	double := true // position 14 (second-from-right overall) is doubled
+	for i := 14; i >= 0; i-- {
+		d := digits[i]
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	digits[15] = (10 - sum%10) % 10
+	var sb strings.Builder
+	for _, d := range digits {
+		fmt.Fprintf(&sb, "%d", d)
+	}
+	return sb.String()
+}
+
+// breakLuhn corrupts the check digit so the value keeps its 16-digit
+// shape (the syntactic pattern still matches) but fails the checksum.
+func breakLuhn(card string) string {
+	last := card[15] - '0'
+	return card[:15] + string('0'+(last+1)%10)
+}
+
+// TestStreamDomainRejectsChecksumInvalid is the tentpole's acceptance
+// test: a stream trained on Luhn-valid card numbers detects the "luhn"
+// domain, and a batch of checksum-invalid values that still match the
+// inferred digit pattern is rejected on domain evidence alone, with the
+// failures surfacing in the verdict, the monitor history, and the
+// per-domain /metrics counters.
+func TestStreamDomainRejectsChecksumInvalid(t *testing.T) {
+	srv := streamServer(t, "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	train := make([]string, 120)
+	for i := range train {
+		train[i] = luhnCard(i)
+	}
+
+	var info StreamInfo
+	if code := do(t, ts, "PUT", "/streams/cards", StreamPutRequest{Train: train}, &info); code != http.StatusOK {
+		t.Fatalf("PUT: status %d", code)
+	}
+	if info.Domain == nil || info.Domain.Name != "luhn" {
+		t.Fatalf("detected domain = %+v, want luhn", info.Domain)
+	}
+	if info.Domain.Confidence < 0.99 {
+		t.Errorf("confidence = %g, want ~1 on all-valid training", info.Domain.Confidence)
+	}
+
+	// A clean batch accepts and reports zero domain failures.
+	clean := make([]string, 100)
+	for i := range clean {
+		clean[i] = luhnCard(1000 + i)
+	}
+	var ok StreamCheckResponse
+	if code := do(t, ts, "POST", "/streams/cards/check", StreamCheckRequest{Values: clean}, &ok); code != http.StatusOK {
+		t.Fatalf("clean check: status %d", code)
+	}
+	if v := ok.Decision.Verdict; v.ActionName != "accept" || v.Domain != "luhn" || v.DomainInvalid != 0 {
+		t.Fatalf("clean verdict = %+v, want accept with 0 luhn-invalid", v)
+	}
+
+	// Every value in the bad batch is 16 digits — syntactically perfect —
+	// with a corrupted check digit. The pattern sees nothing; the domain
+	// validator must reject the batch.
+	bad := make([]string, 100)
+	for i := range bad {
+		bad[i] = breakLuhn(luhnCard(2000 + i))
+	}
+	var check StreamCheckResponse
+	if code := do(t, ts, "POST", "/streams/cards/check", StreamCheckRequest{Values: bad}, &check); code != http.StatusOK {
+		t.Fatalf("bad check: status %d", code)
+	}
+	v := check.Decision.Verdict
+	if v.NonConforming != 0 {
+		t.Fatalf("pattern flagged %d values — batch not syntactically clean; verdict %+v", v.NonConforming, v)
+	}
+	if v.Domain != "luhn" || v.DomainInvalid != 100 || v.DomainOnlyInvalid != 100 {
+		t.Fatalf("domain counts = %+v, want 100 luhn-invalid", v)
+	}
+	if v.ActionName == "accept" {
+		t.Fatalf("checksum-invalid batch accepted: %+v", v)
+	}
+	if len(v.DomainExamples) == 0 {
+		t.Error("verdict carries no domain-invalid examples")
+	}
+
+	// The failures land in the monitor history.
+	var hist monitor.History
+	if code := do(t, ts, "GET", "/streams/cards/history", nil, &hist); code != http.StatusOK {
+		t.Fatalf("history: status %d", code)
+	}
+	if hist.DomainInvalid != 100 {
+		t.Errorf("history.DomainInvalid = %d, want 100", hist.DomainInvalid)
+	}
+
+	// And in the per-domain metrics.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		`autovalidate_domain_detections_total{domain="luhn"} 1`,
+		`autovalidate_domain_batches_total{domain="luhn"} 2`,
+		`autovalidate_domain_values_total{domain="luhn",verdict="pass"} 100`,
+		`autovalidate_domain_values_total{domain="luhn",verdict="fail"} 100`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestInferReportsDomain: one-shot /infer proposes the semantic domain
+// alongside the rule.
+func TestInferReportsDomain(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, 16).Handler())
+	defer ts.Close()
+
+	train := trainValues(t, "ipv4", 100, 3)
+	var resp InferResponse
+	if code := post(t, ts, "/infer", InferRequest{Values: train}, &resp); code != http.StatusOK {
+		t.Fatalf("/infer: status %d", code)
+	}
+	if resp.Domain == nil || resp.Domain.Name != "ipv4" {
+		t.Fatalf("/infer domain = %+v, want ipv4", resp.Domain)
+	}
+}
+
+// TestStreamVocabularyDomainSurvivesRestart: a categorical column gets
+// the learned vocabulary domain; after the registry is reloaded from
+// disk (a restart), out-of-vocabulary values still count as domain
+// failures — the dictionary rides in the persisted detection.
+func TestStreamVocabularyDomainSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	regPath := dir + "/rules.avr"
+	srv := streamServer(t, regPath)
+	ts := httptest.NewServer(srv.Handler())
+
+	train := make([]string, 120)
+	statuses := []string{"active", "paused", "deleted"}
+	for i := range train {
+		train[i] = statuses[i%len(statuses)]
+	}
+	var info StreamInfo
+	if code := do(t, ts, "PUT", "/streams/status", StreamPutRequest{Train: train}, &info); code != http.StatusOK {
+		t.Fatalf("PUT: status %d", code)
+	}
+	if info.Domain == nil || info.Domain.Name != "vocabulary" || info.Domain.VocabSize != 3 {
+		t.Fatalf("detected domain = %+v, want vocabulary of 3", info.Domain)
+	}
+	ts.Close()
+
+	// "Restart": a fresh server over the registry reloaded from disk
+	// (loading at startup is the embedding caller's job — see avserve).
+	reloaded, err := registry.Load(regPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.M = 5
+	srv2, err := New(Config{
+		Index:        testIndex(t).Clone(),
+		Options:      &opt,
+		CacheSize:    64,
+		Registry:     reloaded,
+		RegistryPath: regPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	batch := make([]string, 100)
+	for i := range batch {
+		batch[i] = "archived" // pattern-conforming word, not in the vocabulary
+	}
+	var check StreamCheckResponse
+	if code := do(t, ts2, "POST", "/streams/status/check", StreamCheckRequest{Values: batch}, &check); code != http.StatusOK {
+		t.Fatalf("check after restart: status %d", code)
+	}
+	v := check.Decision.Verdict
+	if v.Domain != "vocabulary" || v.DomainInvalid != 100 {
+		t.Fatalf("post-restart verdict = %+v, want 100 vocabulary-invalid", v)
+	}
+	if v.ActionName == "accept" {
+		t.Fatalf("out-of-vocabulary batch accepted: %+v", v)
+	}
+}

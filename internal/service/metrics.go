@@ -50,6 +50,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("autovalidate_streams", "Streams registered for continuous validation.", float64(s.registry.Len()))
 	gauge("autovalidate_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 
+	// Per-semantic-domain counters: detections at registration time,
+	// checked batches, and per-value pass/fail verdicts. Domains appear
+	// once first seen; "none" counts detection attempts that proposed
+	// no domain.
+	s.domMu.Lock()
+	domains := make([]string, 0, len(s.domStats))
+	for name := range s.domStats {
+		domains = append(domains, name)
+	}
+	sort.Strings(domains)
+	type domRow struct {
+		name                        string
+		detections, batches, hit, f uint64
+	}
+	rows := make([]domRow, 0, len(domains))
+	for _, name := range domains {
+		st := s.domStats[name]
+		rows = append(rows, domRow{name, st.detections, st.batches, st.pass, st.fail})
+	}
+	s.domMu.Unlock()
+	if len(rows) > 0 {
+		const detName = "autovalidate_domain_detections_total"
+		fmt.Fprintf(&sb, "# HELP %s Training columns a semantic domain was proposed for.\n# TYPE %s counter\n", detName, detName)
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%s{domain=%q} %d\n", detName, r.name, r.detections)
+		}
+		const batName = "autovalidate_domain_batches_total"
+		fmt.Fprintf(&sb, "# HELP %s Stream batches checked against a semantic domain.\n# TYPE %s counter\n", batName, batName)
+		for _, r := range rows {
+			if r.name == "none" {
+				continue
+			}
+			fmt.Fprintf(&sb, "%s{domain=%q} %d\n", batName, r.name, r.batches)
+		}
+		const valName = "autovalidate_domain_values_total"
+		fmt.Fprintf(&sb, "# HELP %s Values checked against a semantic domain, by verdict.\n# TYPE %s counter\n", valName, valName)
+		for _, r := range rows {
+			if r.name == "none" {
+				continue
+			}
+			fmt.Fprintf(&sb, "%s{domain=%q,verdict=\"pass\"} %d\n", valName, r.name, r.hit)
+			fmt.Fprintf(&sb, "%s{domain=%q,verdict=\"fail\"} %d\n", valName, r.name, r.f)
+		}
+	}
+
 	patterns := make([]string, 0, len(s.endpoints))
 	for route := range s.endpoints {
 		patterns = append(patterns, route)

@@ -39,6 +39,7 @@ import (
 
 	"autovalidate/internal/core"
 	"autovalidate/internal/corpus"
+	"autovalidate/internal/domain"
 	"autovalidate/internal/index"
 	"autovalidate/internal/monitor"
 	"autovalidate/internal/registry"
@@ -137,6 +138,50 @@ type Server struct {
 	// histograms; the map is fixed at construction, so lock-free reads
 	// are safe.
 	endpoints map[string]*endpointStats
+
+	// domMu guards domStats, the per-semantic-domain serving counters
+	// (detections at registration, value pass/fail at check time).
+	// Entries are created lazily as domains are first seen.
+	domMu    sync.Mutex
+	domStats map[string]*domainStats
+}
+
+// domainStats aggregates one semantic domain's serving counters.
+type domainStats struct {
+	// detections counts training columns this domain was proposed for.
+	detections uint64
+	// batches counts checked stream batches; pass/fail count their
+	// values by semantic verdict.
+	batches uint64
+	pass    uint64
+	fail    uint64
+}
+
+func (s *Server) domainStat(name string) *domainStats {
+	// Caller holds domMu.
+	st := s.domStats[name]
+	if st == nil {
+		st = &domainStats{}
+		s.domStats[name] = st
+	}
+	return st
+}
+
+// domainDetected counts one domain proposal outcome.
+func (s *Server) domainDetected(name string) {
+	s.domMu.Lock()
+	defer s.domMu.Unlock()
+	s.domainStat(name).detections++
+}
+
+// domainChecked counts one checked batch's semantic verdicts.
+func (s *Server) domainChecked(name string, pass, fail int) {
+	s.domMu.Lock()
+	defer s.domMu.Unlock()
+	st := s.domainStat(name)
+	st.batches++
+	st.pass += uint64(pass)
+	st.fail += uint64(fail)
 }
 
 // New builds a server from a loaded index.
@@ -177,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 		deltaLog:   cfg.DeltaLog,
 		writeProxy: cfg.WriteProxy,
 		endpoints:  make(map[string]*endpointStats),
+		domStats:   make(map[string]*domainStats),
 	}
 	s.opt.Store(&opt)
 	if cfg.WriteProxy != nil {
@@ -286,6 +332,9 @@ type InferResponse struct {
 	// Cached reports whether the rule was served from the LRU.
 	Cached bool           `json:"cached"`
 	Rule   *validate.Rule `json:"rule"`
+	// Domain is the semantic domain proposed for the training column,
+	// if any; registering the column as a stream persists it.
+	Domain *DomainInfo `json:"domain,omitempty"`
 }
 
 // ValidateRequest checks a batch against a rule, identified by (in
@@ -523,7 +572,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, inferStatus(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, InferResponse{Fingerprint: fp, Cached: cached, Rule: rule})
+	// Domain detection is deterministic on the values and cheap (a
+	// bounded sample against each registered validator), so it is
+	// recomputed rather than cached with the rule.
+	var dom *DomainInfo
+	if d, ok := domain.Propose(req.Values); ok {
+		dom = domainInfo(d)
+	}
+	writeJSON(w, http.StatusOK, InferResponse{Fingerprint: fp, Cached: cached, Rule: rule, Domain: dom})
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {

@@ -19,6 +19,7 @@ import (
 	"strconv"
 
 	"autovalidate/internal/core"
+	"autovalidate/internal/domain"
 	"autovalidate/internal/monitor"
 	"autovalidate/internal/registry"
 	"autovalidate/internal/validate"
@@ -63,6 +64,10 @@ type StreamInfo struct {
 	// registered under the name.
 	Version  int `json:"version"`
 	Versions int `json:"versions"`
+	// Domain is the semantic domain detected from the stream's training
+	// column, if any: batches are checked against its validator on top
+	// of the syntactic pattern.
+	Domain *DomainInfo `json:"domain,omitempty"`
 	// IndexGeneration is the index generation the rule was inferred
 	// against; Stale reports whether the index has since moved on.
 	IndexGeneration uint64         `json:"index_generation"`
@@ -70,20 +75,59 @@ type StreamInfo struct {
 	Rule            *validate.Rule `json:"rule"`
 }
 
+// DomainInfo is the response form of a domain detection. A learned
+// vocabulary is reported by size, not by value — dictionaries can be
+// thousands of entries and belong in the registry, not in every list
+// response.
+type DomainInfo struct {
+	Name       string  `json:"name"`
+	Family     string  `json:"family,omitempty"`
+	Confidence float64 `json:"confidence"`
+	VocabSize  int     `json:"vocab_size,omitempty"`
+}
+
+func domainInfo(d domain.Detection) *DomainInfo {
+	if d.Name == "" {
+		return nil
+	}
+	return &DomainInfo{
+		Name:       d.Name,
+		Family:     d.Family,
+		Confidence: d.Confidence,
+		VocabSize:  len(d.Vocab),
+	}
+}
+
 func streamInfo(s registry.Stream, versions int) StreamInfo {
 	return StreamInfo{
 		Name:            s.Name,
 		Version:         s.Version,
 		Versions:        versions,
+		Domain:          domainInfo(s.Domain),
 		IndexGeneration: s.IndexGeneration,
 		Stale:           s.Stale,
 		Rule:            s.Rule,
 	}
 }
 
+// detectDomain proposes a semantic domain for a training column and
+// counts the detection for /metrics. The empty Detection (no domain)
+// is counted under "none" so detection traffic stays observable.
+func (s *Server) detectDomain(train []string) domain.Detection {
+	dom, ok := domain.Propose(train)
+	if !ok {
+		s.domainDetected("none")
+		return domain.Detection{}
+	}
+	s.domainDetected(dom.Name)
+	return dom
+}
+
 // registerStream infers a rule for the stream from train values and
 // appends it as a new registry version, closing the race against a
-// concurrent ingest (see the staleness re-check below).
+// concurrent ingest (see the staleness re-check below). The training
+// column also proposes a semantic domain (pattern first, domain
+// validator on top), persisted with the rule.
 func (s *Server) registerStream(name string, train []string, p RuleParams) (registry.Stream, int, error) {
 	opt, err := s.options(p)
 	if err != nil {
@@ -94,7 +138,7 @@ func (s *Server) registerStream(name string, train []string, p RuleParams) (regi
 	if err != nil {
 		return registry.Stream{}, inferStatus(err), err
 	}
-	stream, err := s.registry.Put(name, rule, opt, idx.Generation)
+	stream, err := s.registry.PutDomain(name, rule, opt, idx.Generation, s.detectDomain(train))
 	if err != nil {
 		return registry.Stream{}, http.StatusBadRequest, err
 	}
@@ -245,15 +289,20 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if v := dec.Verdict; v.Domain != "" {
+		s.domainChecked(v.Domain, v.Total-v.DomainInvalid, v.DomainInvalid)
+	}
 	resp := StreamCheckResponse{Stream: name, Version: stream.Version, Decision: dec}
 	if dec.Verdict.Action == monitor.Reinfer && s.canReinfer() {
 		// The drifted batch is the stream's new normal: re-learn the
-		// rule from it with the stream's original inference options.
+		// rule from it with the stream's original inference options,
+		// and re-detect the domain — the batch that changed the
+		// stream's syntax may have changed its semantics too.
 		idx := s.idx.Load()
 		rule, err := core.Infer(req.Values, idx, stream.Options)
 		if err != nil {
 			resp.ReinferError = err.Error()
-		} else if next, err := s.registry.Put(name, rule, stream.Options, idx.Generation); err != nil {
+		} else if next, err := s.registry.PutDomain(name, rule, stream.Options, idx.Generation, s.detectDomain(req.Values)); err != nil {
 			resp.ReinferError = err.Error()
 		} else {
 			s.recheckStale(next, idx.Generation)
