@@ -224,7 +224,7 @@ func LoadIndex(path string) (*Index, error) { return index.Load(path) }
 // returned delta can be persisted with SaveIndexDelta for replication or
 // later compaction. Enumeration options are taken from the index itself
 // so increments stay consistent with the original build.
-func IngestCorpus(idx *Index, c *Corpus, opt BuildOptions) *IndexDelta {
+func IngestCorpus(idx *Index, c *Corpus, opt BuildOptions) (*IndexDelta, error) {
 	return idx.IngestColumns(c.Columns(), opt)
 }
 

@@ -405,7 +405,11 @@ func BenchmarkIndexIngestOneTable(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if d := idx.IngestColumns(arrival, autovalidate.DefaultBuildOptions()); d.Evidence.Size() == 0 {
+		d, err := idx.IngestColumns(arrival, autovalidate.DefaultBuildOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Evidence.Size() == 0 {
 			b.Fatal("empty delta")
 		}
 	}

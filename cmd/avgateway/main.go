@@ -55,7 +55,7 @@ func main() {
 		}
 		u, err := url.Parse(s)
 		if err != nil || u.Scheme == "" || u.Host == "" {
-			fatal(fmt.Errorf("bad member URL %q (want e.g. http://host:8077): %v", s, err))
+			fatal(fmt.Errorf("bad member URL %q (want e.g. http://host:8077): %w", s, err))
 		}
 		urls = append(urls, u)
 	}

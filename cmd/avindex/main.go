@@ -93,7 +93,10 @@ func appendRun(dir, out, deltaOut string, opt autovalidate.BuildOptions, start t
 		fatal(err)
 	}
 	cols := c.Columns()
-	delta := idx.IngestColumns(cols, opt)
+	delta, err := idx.IngestColumns(cols, opt)
+	if err != nil {
+		fatal(err)
+	}
 	if deltaOut != "" {
 		if err := autovalidate.SaveIndexDelta(deltaOut, delta); err != nil {
 			fatal(err)

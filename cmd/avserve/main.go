@@ -126,7 +126,7 @@ func main() {
 		var err error
 		leaderURL, err = url.Parse(*follow)
 		if err != nil || leaderURL.Scheme == "" || leaderURL.Host == "" {
-			fatal(fmt.Errorf("bad -follow URL %q (want e.g. http://leader:8077): %v", *follow, err))
+			fatal(fmt.Errorf("bad -follow URL %q (want e.g. http://leader:8077): %w", *follow, err))
 		}
 		cfg.Index = autovalidate.NewEmptyIndex(autovalidate.DefaultIndexShards())
 		cfg.Options = &opt

@@ -47,8 +47,9 @@ type (
 )
 
 // RegisterDomainValidator adds a custom validator to the process-wide
-// domain registry (built-ins register themselves from init()).
-func RegisterDomainValidator(v DomainValidator) { domain.Register(v) }
+// domain registry (built-ins register themselves from init()). A nil
+// validator, empty name, or name collision is rejected with an error.
+func RegisterDomainValidator(v DomainValidator) error { return domain.Register(v) }
 
 // DomainValidators lists the registered validators, priority first.
 func DomainValidators() []DomainValidator { return domain.Validators() }

@@ -131,8 +131,14 @@ func TestGeneralityOrdering(t *testing.T) {
 		{"<digit>{2}", "<num>"},
 	}
 	for _, c := range cases {
-		a := pattern.MustParse(c.less)
-		b := pattern.MustParse(c.more)
+		a, err := pattern.Parse(c.less)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.less, err)
+		}
+		b, err := pattern.Parse(c.more)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.more, err)
+		}
 		if generality(a) >= generality(b) {
 			t.Errorf("generality(%q)=%d should be < generality(%q)=%d",
 				c.less, generality(a), c.more, generality(b))

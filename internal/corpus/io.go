@@ -119,7 +119,9 @@ func (t *Table) SaveCSV(path string) error {
 	}
 	w := csv.NewWriter(f)
 	if err := t.write(w); err != nil {
-		f.Close()
+		// The write error is what the caller needs; the close of a file
+		// we are abandoning cannot add to it.
+		_ = f.Close()
 		return fmt.Errorf("corpus: writing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {

@@ -13,14 +13,14 @@ import (
 )
 
 func init() {
-	Register(doiValidator{base{
+	register(doiValidator{base{
 		name:     "doi",
 		domain:   "accession",
 		desc:     "DOIs: 10.<registrant>/<suffix>, doi: and https://doi.org/ forms accepted",
 		patterns: []string{"<num>.<num>/<all>+"},
 		priority: 70,
 	}})
-	Register(arxivValidator{base{
+	register(arxivValidator{base{
 		name:     "arxiv",
 		domain:   "accession",
 		desc:     "arXiv IDs: YYMM.NNNNN[vN] (month-checked) or archive/YYMMNNN",

@@ -12,28 +12,28 @@ import (
 )
 
 func init() {
-	Register(isbn10Validator{base{
+	register(isbn10Validator{base{
 		name:     "isbn10",
 		domain:   "checksum",
 		desc:     "ISBN-10 book numbers (mod-11 check digit, X allowed)",
 		patterns: []string{"<digit>{10}", "<digit>{9}X", "<digit>-<digit>{5}-<digit>{3}-<digit>"},
 		priority: 84,
 	}})
-	Register(isbn13Validator{base{
+	register(isbn13Validator{base{
 		name:     "isbn13",
 		domain:   "checksum",
 		desc:     "ISBN-13 book numbers (978/979 prefix, alternating 1-3 weights mod 10)",
 		patterns: []string{"<digit>{13}", "<digit>{3}-<digit>-<digit>{5}-<digit>{3}-<digit>"},
 		priority: 85,
 	}})
-	Register(ibanValidator{base{
+	register(ibanValidator{base{
 		name:     "iban",
 		domain:   "checksum",
 		desc:     "International Bank Account Numbers (ISO 13616 mod-97)",
 		patterns: []string{"<letter>{2}<digit>{2}<alnum>+"},
 		priority: 80,
 	}})
-	Register(luhnValidator{base{
+	register(luhnValidator{base{
 		name:     "luhn",
 		domain:   "checksum",
 		desc:     "Luhn-checked numbers: credit/debit cards, IMEIs (mod-10 double-every-other)",

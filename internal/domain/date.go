@@ -13,7 +13,7 @@ import (
 )
 
 func init() {
-	Register(dateValidator{base{
+	register(dateValidator{base{
 		name:   "date",
 		domain: "calendar",
 		desc:   "calendar-valid dates and timestamps in common layouts",

@@ -17,6 +17,7 @@
 package domain
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -77,13 +78,13 @@ var reg struct {
 	sorted []Validator // priority-descending, name-ascending within ties
 }
 
-// Register adds a validator to the registry. Built-ins call it from
-// init(); embedding applications may register their own at startup.
-// A nil validator, empty name, or duplicate name panics: registration
-// is programmer configuration, not runtime input.
-func Register(v Validator) {
+// Register adds a validator to the registry. Built-ins register from
+// init() via register; embedding applications may add their own at
+// startup. A nil validator, empty name, or duplicate name is rejected
+// with an error and leaves the registry unchanged.
+func Register(v Validator) error {
 	if v == nil || v.Name() == "" {
-		panic("domain: Register with nil validator or empty name")
+		return fmt.Errorf("domain: register: nil validator or empty name")
 	}
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
@@ -91,7 +92,7 @@ func Register(v Validator) {
 		reg.byName = make(map[string]Validator)
 	}
 	if _, dup := reg.byName[v.Name()]; dup {
-		panic(fmt.Sprintf("domain: validator %q registered twice", v.Name()))
+		return fmt.Errorf("domain: validator %q already registered", v.Name())
 	}
 	reg.byName[v.Name()] = v
 	reg.sorted = append(reg.sorted, v)
@@ -101,7 +102,29 @@ func Register(v Validator) {
 		}
 		return reg.sorted[i].Name() < reg.sorted[j].Name()
 	})
+	return nil
 }
+
+// initErr accumulates registration failures from the built-in init()
+// functions. Built-in names are compile-time constants, so a non-nil
+// value is a programmer error; InitError surfaces it to tests (and to
+// any embedding application that wants a startup sanity check) without
+// crashing the process at import time.
+var initErr error
+
+// register is Register for the built-in init() functions: failures are
+// collected into initErr instead of being returned, because init() has
+// nowhere to send an error. init() runs single-threaded before main, so
+// the bare append is safe.
+func register(v Validator) {
+	if err := Register(v); err != nil {
+		initErr = errors.Join(initErr, err)
+	}
+}
+
+// InitError reports any registration failure among the built-in
+// validators; it is nil in a correctly assembled binary.
+func InitError() error { return initErr }
 
 // Lookup returns the registered validator with the given name.
 func Lookup(name string) (Validator, bool) {

@@ -274,16 +274,25 @@ func TestVocabulary(t *testing.T) {
 }
 
 func TestRegisterRejectsBadValidators(t *testing.T) {
-	mustPanic := func(label string, v Validator) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("Register(%s) did not panic", label)
-			}
-		}()
-		Register(v)
+	if err := Register(nil); err == nil {
+		t.Error("Register(nil) = nil, want error")
 	}
-	mustPanic("nil", nil)
-	mustPanic("duplicate isbn10", isbn10Validator{base{name: "isbn10"}})
+	if err := Register(isbn10Validator{base{}}); err == nil {
+		t.Error("Register with empty name = nil, want error")
+	}
+	before := len(Validators())
+	if err := Register(isbn10Validator{base{name: "isbn10"}}); err == nil {
+		t.Error("Register(duplicate isbn10) = nil, want error")
+	}
+	if got := len(Validators()); got != before {
+		t.Errorf("rejected registration changed the registry: %d -> %d validators", before, got)
+	}
+}
+
+func TestBuiltinRegistrationClean(t *testing.T) {
+	if err := InitError(); err != nil {
+		t.Fatalf("built-in validator registration failed: %v", err)
+	}
 }
 
 func TestDetect(t *testing.T) {

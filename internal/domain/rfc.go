@@ -16,35 +16,35 @@ import (
 )
 
 func init() {
-	Register(uuidValidator{base{
+	register(uuidValidator{base{
 		name:     "uuid",
 		domain:   "rfc",
 		desc:     "RFC 9562 UUIDs (8-4-4-4-12 hex with valid version and variant bits)",
 		patterns: []string{"<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}"},
 		priority: 90,
 	}})
-	Register(emailValidator{base{
+	register(emailValidator{base{
 		name:     "email",
 		domain:   "rfc",
 		desc:     "email addresses (RFC 5321 subset: local@domain with valid labels)",
 		patterns: []string{"<alnum>+@<alnum>+.<letter>+"},
 		priority: 60,
 	}})
-	Register(urlValidator{base{
+	register(urlValidator{base{
 		name:     "url",
 		domain:   "rfc",
 		desc:     "absolute http/https/ftp URLs with a valid host",
 		patterns: []string{"<letter>+://<all>+"},
 		priority: 55,
 	}})
-	Register(ipv4Validator{base{
+	register(ipv4Validator{base{
 		name:     "ipv4",
 		domain:   "rfc",
 		desc:     "IPv4 dotted-quad addresses (octets 0..255, no leading zeros)",
 		patterns: []string{"<num>.<num>.<num>.<num>"},
 		priority: 64,
 	}})
-	Register(ipv6Validator{base{
+	register(ipv6Validator{base{
 		name:     "ipv6",
 		domain:   "rfc",
 		desc:     "IPv6 addresses in RFC 4291 text form",

@@ -76,7 +76,9 @@ func (idx *Index) ApplyDelta(d *Delta) error {
 		// this index's layout, leaving the caller's delta intact.
 		ev = reshardedCopy(ev, len(idx.shards))
 	}
-	mapreduce.MergeShards(idx.shards, ev.shards, combineEntries)
+	if err := mapreduce.MergeShards(idx.shards, ev.shards, combineEntries); err != nil {
+		return err
+	}
 	idx.Columns += ev.Columns
 	idx.SkippedWide += ev.SkippedWide
 	idx.Generation++
@@ -88,14 +90,16 @@ func (idx *Index) ApplyDelta(d *Delta) error {
 // into the index, updating per-pattern coverage / FPR aggregates and the
 // corpus totals. It returns the applied delta so callers can persist it
 // with SaveDelta for replication or later compaction. Enumeration options
-// are taken from the index itself; see BuildDelta.
-func (idx *Index) IngestColumns(cols []*corpus.Column, opt BuildOptions) *Delta {
+// are taken from the index itself; see BuildDelta. ApplyDelta cannot
+// normally reject a delta built against this exact index, but if it does
+// (a concurrent mutation slipped between build and apply) the error comes
+// back to the caller instead of crashing the process.
+func (idx *Index) IngestColumns(cols []*corpus.Column, opt BuildOptions) (*Delta, error) {
 	d := BuildDelta(idx, cols, opt)
-	// Cannot fail: the delta was built against this exact index.
 	if err := idx.ApplyDelta(d); err != nil {
-		panic("index: IngestColumns self-built delta rejected: " + err.Error())
+		return nil, fmt.Errorf("index: ingest: self-built delta rejected: %w", err)
 	}
-	return d
+	return d, nil
 }
 
 // Merge combines two independently built indexes over disjoint column
@@ -113,7 +117,9 @@ func Merge(a, b *Index) (*Index, error) {
 	if len(b.shards) != len(a.shards) {
 		bs = reshardedCopy(b, len(a.shards))
 	}
-	mapreduce.MergeShards(out.shards, bs.shards, combineEntries)
+	if err := mapreduce.MergeShards(out.shards, bs.shards, combineEntries); err != nil {
+		return nil, err
+	}
 	out.Columns = a.Columns + b.Columns
 	out.SkippedWide = a.SkippedWide + b.SkippedWide
 	out.Generation = a.Generation + b.Generation

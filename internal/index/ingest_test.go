@@ -62,7 +62,10 @@ func TestIncrementalEquivalence(t *testing.T) {
 	}
 
 	inc := Build(cols[:half], opt)
-	delta := inc.IngestColumns(cols[half:], opt)
+	delta, err := inc.IngestColumns(cols[half:], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	equivalentIndexes(t, "ingest", full, inc)
 	if inc.Generation != 1 {
 		t.Errorf("ingest generation %d, want 1", inc.Generation)
@@ -131,8 +134,14 @@ func TestDeltaChainCompaction(t *testing.T) {
 
 	base := Build(cols[:third], opt)
 	staged := base.Clone()
-	d1 := staged.IngestColumns(cols[third:2*third], opt)
-	d2 := staged.IngestColumns(cols[2*third:], opt)
+	d1, err := staged.IngestColumns(cols[third:2*third], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := staged.IngestColumns(cols[2*third:], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	dir := t.TempDir()
 	p1, p2 := filepath.Join(dir, "d1.avd"), filepath.Join(dir, "d2.avd")
@@ -216,7 +225,9 @@ func TestCloneIsDeep(t *testing.T) {
 	want := orig.Clone()
 
 	mutant := orig.Clone()
-	mutant.IngestColumns(cols[half:], opt)
+	if _, err := mutant.IngestColumns(cols[half:], opt); err != nil {
+		t.Fatal(err)
+	}
 	equivalentIndexes(t, "original after clone mutation", want, orig)
 	if orig.Generation != 0 {
 		t.Errorf("original generation moved to %d", orig.Generation)
@@ -233,7 +244,9 @@ func TestIngestEmptyBatch(t *testing.T) {
 	opt := DefaultBuildOptions()
 	idx := Build(c.Columns(), opt)
 	want := idx.Clone()
-	idx.IngestColumns(nil, opt)
+	if _, err := idx.IngestColumns(nil, opt); err != nil {
+		t.Fatal(err)
+	}
 	if idx.Generation != 1 {
 		t.Errorf("generation %d after empty ingest, want 1", idx.Generation)
 	}
@@ -254,7 +267,9 @@ func TestIngestUsesIndexEnum(t *testing.T) {
 	inc := Build(cols[:half], opt)
 	mismatched := DefaultBuildOptions()
 	mismatched.Enum.MaxTokens = 13
-	inc.IngestColumns(cols[half:], mismatched)
+	if _, err := inc.IngestColumns(cols[half:], mismatched); err != nil {
+		t.Fatal(err)
+	}
 	equivalentIndexes(t, "ingest with mismatched options", full, inc)
 	for k := range inc.All() {
 		if strings.Count(k, "<") > 0 && inc.Enum.MaxTokens != 8 {

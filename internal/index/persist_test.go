@@ -49,7 +49,9 @@ func TestV3RoundTripPreservesGeneration(t *testing.T) {
 	c := datagen.Generate(datagen.Enterprise(12, 7))
 	cols := c.Columns()
 	idx := Build(cols[:len(cols)/2], DefaultBuildOptions())
-	idx.IngestColumns(cols[len(cols)/2:], DefaultBuildOptions())
+	if _, err := idx.IngestColumns(cols[len(cols)/2:], DefaultBuildOptions()); err != nil {
+		t.Fatal(err)
+	}
 	if idx.Generation != 1 {
 		t.Fatalf("fixture generation %d, want 1", idx.Generation)
 	}

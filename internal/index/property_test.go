@@ -64,7 +64,10 @@ func TestIndexCoverageSpotCheck(t *testing.T) {
 			t.Errorf("expected %q in index", key)
 			continue
 		}
-		p := pattern.MustParse(key)
+		p, err := pattern.Parse(key)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", key, err)
+		}
 		truth := 0
 		for _, col := range cols {
 			if p.MatchCount(col.Values) > 0 {

@@ -1,0 +1,169 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"autovalidate/internal/lint/analysis"
+)
+
+// BodyLimit enforces the request-body bound on every HTTP handler: a
+// function that takes (http.ResponseWriter, *http.Request) may only
+// consume r.Body through http.MaxBytesReader (or after reassigning
+// r.Body to one). An unbounded json.NewDecoder(r.Body) or
+// io.ReadAll(r.Body) lets a single request balloon a node's heap —
+// under gateway fan-out that is a one-request cluster outage.
+//
+// Handlers that delegate to a bounded helper (the service's
+// decodeJSON) never touch r.Body directly and pass; the helper itself
+// is handler-shaped and is checked instead.
+var BodyLimit = &analysis.Analyzer{
+	Name: "bodylimit",
+	Doc: "HTTP handlers must bound request bodies with http.MaxBytesReader " +
+		"before reading them",
+	Run: runBodyLimit,
+}
+
+func runBodyLimit(pass *analysis.Pass) error {
+	for _, fd := range funcDecls(pass) {
+		if req := requestParam(pass, fd.Type); req != nil {
+			checkBodyUses(pass, fd.Body, req)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if req := requestParam(pass, lit.Type); req != nil {
+					checkBodyUses(pass, lit.Body, req)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// requestParam returns the *http.Request parameter object of a
+// handler-shaped signature: one that also includes an
+// http.ResponseWriter. Other request-taking helpers (middleware
+// constructors, clients) are out of scope — without a ResponseWriter
+// there is no handler contract to enforce.
+func requestParam(pass *analysis.Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	var req types.Object
+	hasWriter := false
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		switch {
+		case namedTypeIs(t, "net/http", "ResponseWriter"):
+			hasWriter = true
+		case namedTypeIs(t, "net/http", "Request"):
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					req = obj
+				}
+			}
+		}
+	}
+	if !hasWriter {
+		return nil
+	}
+	return req
+}
+
+// checkBodyUses flags each consumption of req.Body not routed through
+// http.MaxBytesReader.
+func checkBodyUses(pass *analysis.Pass, body *ast.BlockStmt, req types.Object) {
+	// parents maps each node to its parent for context classification.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	// A rebinding r.Body = http.MaxBytesReader(...) bounds every later
+	// read through r.Body; record where the first one happens.
+	rebound := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.ObjectOf(base) != req {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if ok && isFunc(callee(pass.Info, call), "net/http", "MaxBytesReader") {
+			if rebound == token.NoPos || as.Pos() < rebound {
+				rebound = as.Pos()
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.ObjectOf(base) != req {
+			return true
+		}
+		if rebound != token.NoPos && sel.Pos() > rebound {
+			return true
+		}
+		if allowedBodyContext(pass, parents, sel) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "request body consumed without http.MaxBytesReader bound; a single request can exhaust the node")
+		return false
+	})
+}
+
+// allowedBodyContext reports whether this r.Body use is one of the
+// sanctioned forms: an argument to http.MaxBytesReader, a nil
+// comparison, a Close call, or the target of a rebinding assignment
+// (r.Body = http.MaxBytesReader(...)).
+func allowedBodyContext(pass *analysis.Pass, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	parent := parents[sel]
+	for p := parent; p != nil; p = parents[p] {
+		if call, ok := p.(*ast.CallExpr); ok {
+			if isFunc(callee(pass.Info, call), "net/http", "MaxBytesReader") {
+				return true
+			}
+			break
+		}
+	}
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		// r.Body != nil and friends.
+		return true
+	case *ast.SelectorExpr:
+		// r.Body.Close() — closing without reading is fine.
+		return p.Sel.Name == "Close"
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+// Package checkers holds avlint's five project-specific analyzers.
+// Each one mechanizes a correctness invariant the cluster's design
+// depends on but that nothing else enforces:
+//
+//   - swapdiscipline: copy-on-write atomic.Pointer swaps happen inside
+//     the owning mutex and invalidate the rule cache in the same
+//     critical section.
+//   - nopanic: decode/parse/load/replication entry points return
+//     errors on corrupt input; they never panic or log.Fatal.
+//   - errwrapctx: errors crossing package boundaries wrap with %w, and
+//     persistence errors carry section/generation context.
+//   - uncheckedclose: write-path Close/Flush/Sync errors are checked
+//     (an atomic save that ignores Close can publish a truncated
+//     file), and HTTP response bodies are closed.
+//   - bodylimit: handlers consume request bodies only through
+//     http.MaxBytesReader.
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"autovalidate/internal/lint/analysis"
+)
+
+// All returns the avlint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		SwapDiscipline,
+		NoPanic,
+		ErrWrapCtx,
+		UncheckedClose,
+		BodyLimit,
+	}
+}
+
+// ByName resolves one analyzer by name.
+func ByName(name string) (*analysis.Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType.Underlying().(*types.Interface))
+}
+
+// callee resolves the called function or method of a call expression,
+// or nil for builtins, function values, and type conversions.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isFunc reports whether fn is the named function or method of the
+// package at pkgPath ("" matches a method on a type from pkgPath).
+func isFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// rootIdentObj walks a selector chain (s.cache.clear, s.mu) down to
+// its base identifier and returns that identifier's object — the
+// anchor for deciding that a Lock, a Store, and an invalidation all
+// act on the same struct value. Non-chains return nil.
+func rootIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedTypeIs reports whether t (after pointer indirection) is the
+// named type pkgPath.name, ignoring type arguments.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// funcDecls yields every function declaration with a body across the
+// pass's files.
+func funcDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

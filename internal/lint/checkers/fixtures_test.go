@@ -1,0 +1,23 @@
+package checkers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"autovalidate/internal/lint/checkers"
+	"autovalidate/internal/lint/linttest"
+)
+
+// TestFixtures drives every analyzer over its fixture module in
+// internal/lint/testdata: each `// want` comment must be produced and
+// nothing else may be. Together the fixtures are the executable
+// specification of the suite — every rule has at least one violation
+// that fails without its fix and one compliant form that stays silent.
+func TestFixtures(t *testing.T) {
+	for _, a := range checkers.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			linttest.Run(t, filepath.Join("..", "testdata", a.Name), a)
+		})
+	}
+}

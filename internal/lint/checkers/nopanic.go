@@ -1,0 +1,144 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"autovalidate/internal/lint/analysis"
+)
+
+// NoPanic enforces the "error, never panic" contract on the paths that
+// consume persisted or replicated bytes: any exported function whose
+// name marks it as a decode/parse/load/replication entry point must
+// not be able to reach a panic, log.Fatal, or os.Exit within its
+// package. Corrupt input is a data problem for the caller, not a
+// process-death sentence for a validation node serving live traffic.
+//
+// Entry points are exported functions and methods whose names start
+// with one of: Parse, Decode, Load, Read, Open, Unmarshal, Apply,
+// Replicate, Install, Ingest, Fetch. Must* helpers are exempt — a
+// Must prefix is Go's canonical "panics on error" marker — but entry
+// points must not call them.
+var NoPanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "decode/parse/load/replication entry points must return errors on corrupt " +
+		"input, never panic, log.Fatal, or os.Exit",
+	Run: runNoPanic,
+}
+
+var entryPrefixes = []string{
+	"Parse", "Decode", "Load", "Read", "Open", "Unmarshal",
+	"Apply", "Replicate", "Install", "Ingest", "Fetch",
+}
+
+// isEntryPoint reports whether an exported function name marks a
+// corrupt-input-facing entry point.
+func isEntryPoint(name string) bool {
+	if !ast.IsExported(name) || strings.HasPrefix(name, "Must") {
+		return false
+	}
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sink is one panic-like call site inside a function.
+type sink struct {
+	pos  token.Pos
+	what string
+}
+
+func runNoPanic(pass *analysis.Pass) error {
+	decls := funcDecls(pass)
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range decls {
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			declOf[fn] = fd
+		}
+	}
+
+	// Per function: the panic-like sites in its own body (closures
+	// included — a panicking goroutine or callback is still this
+	// function's panic) and its same-package direct callees.
+	sinks := map[*types.Func][]sink{}
+	calls := map[*types.Func][]*types.Func{}
+	for fn, fd := range declOf {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					sinks[fn] = append(sinks[fn], sink{call.Pos(), "panic"})
+					return true
+				}
+			}
+			cal := callee(pass.Info, call)
+			if cal == nil {
+				return true
+			}
+			switch {
+			case cal.Pkg() != nil && cal.Pkg().Path() == "log" && strings.HasPrefix(cal.Name(), "Fatal"),
+				cal.Pkg() != nil && cal.Pkg().Path() == "log" && strings.HasPrefix(cal.Name(), "Panic"):
+				sinks[fn] = append(sinks[fn], sink{call.Pos(), "log." + cal.Name()})
+			case isFunc(cal, "os", "Exit"):
+				sinks[fn] = append(sinks[fn], sink{call.Pos(), "os.Exit"})
+			case cal.Pkg() == pass.Pkg:
+				if _, local := declOf[cal]; local {
+					calls[fn] = append(calls[fn], cal)
+				}
+			}
+			return true
+		})
+	}
+
+	// BFS from each entry point; report each reachable sink site once,
+	// with the shortest call path that exposes it.
+	reported := map[token.Pos]bool{}
+	for _, fd := range decls {
+		fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok || !isEntryPoint(fn.Name()) {
+			continue
+		}
+		parent := map[*types.Func]*types.Func{fn: nil}
+		queue := []*types.Func{fn}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, s := range sinks[cur] {
+				if reported[s.pos] {
+					continue
+				}
+				reported[s.pos] = true
+				pass.Reportf(s.pos, "%s reachable from entry point %s (%s); corrupt input must return an error",
+					s.what, fn.Name(), callPath(parent, cur, fn))
+			}
+			for _, next := range calls[cur] {
+				if _, seen := parent[next]; !seen {
+					parent[next] = cur
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// callPath renders "via A → B" for the BFS path entry→…→cur, or "direct
+// call" when the sink is in the entry point itself.
+func callPath(parent map[*types.Func]*types.Func, cur, entry *types.Func) string {
+	if cur == entry {
+		return "direct call"
+	}
+	var chain []string
+	for f := cur; f != nil; f = parent[f] {
+		chain = append([]string{f.Name()}, chain...)
+	}
+	return "via " + strings.Join(chain, " → ")
+}

@@ -1,0 +1,247 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"autovalidate/internal/lint/analysis"
+)
+
+// SwapDiscipline enforces the copy-on-write swap protocol established
+// in PR 3: a guarded atomic.Pointer field may only be Store'd/Swap'd
+// while the owning mutex is held, and the declared cache invalidation
+// must happen in the same critical section. Fields opt in through
+// directives in their doc comment:
+//
+//	//avlint:guardedBy mu
+//	//avlint:invalidate cache.clear
+//	idx atomic.Pointer[index.Index]
+//
+// A Store outside the mu critical section lets an in-flight request
+// pair a new index with stale cached rules (or vice versa) — the
+// silent cluster-wide corruption this analyzer exists to prevent.
+var SwapDiscipline = &analysis.Analyzer{
+	Name: "swapdiscipline",
+	Doc: "atomic.Pointer fields marked //avlint:guardedBy must be swapped inside " +
+		"the owning mutex and invalidate their declared cache in the same critical section",
+	Run: runSwapDiscipline,
+}
+
+// guardSpec is one annotated field's contract.
+type guardSpec struct {
+	mutex      string // sibling mutex field name
+	invalidate string // dotted call chain relative to the struct, e.g. "cache.clear"
+}
+
+func runSwapDiscipline(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, fd := range funcDecls(pass) {
+		checkSwapsInFunc(pass, fd, guards)
+	}
+	return nil
+}
+
+// collectGuards finds every struct field annotated with
+// //avlint:guardedBy, keyed by the field's types.Var.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guardSpec {
+	guards := map[*types.Var]guardSpec{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, ok := parseGuardDirectives(field.Doc)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						if !namedTypeIs(v.Type(), "sync/atomic", "Pointer") {
+							pass.Reportf(name.Pos(), "//avlint:guardedBy on %s, which is not an atomic.Pointer", name.Name)
+							continue
+						}
+						guards[v] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// parseGuardDirectives extracts the guardedBy/invalidate directives
+// from a field's doc comment.
+func parseGuardDirectives(doc *ast.CommentGroup) (guardSpec, bool) {
+	var spec guardSpec
+	if doc == nil {
+		return spec, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, "avlint:guardedBy"); ok {
+			spec.mutex = strings.TrimSpace(rest)
+		}
+		if rest, ok := strings.CutPrefix(text, "avlint:invalidate"); ok {
+			spec.invalidate = strings.TrimSpace(rest)
+		}
+	}
+	return spec, spec.mutex != ""
+}
+
+// checkSwapsInFunc verifies every Store/Swap of a guarded field inside
+// one function against the lock/invalidate protocol, using source
+// order within the function as the approximation of control flow (the
+// protocol's critical sections are straight-line by design).
+func checkSwapsInFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]guardSpec) {
+	type event struct {
+		pos  token.Pos
+		root types.Object
+		name string // "lock", "unlock", "invalidate:<spec>"
+	}
+	var events []event
+	type swap struct {
+		pos   token.Pos
+		root  types.Object
+		field *types.Var
+		spec  guardSpec
+		verb  string
+	}
+	var swaps []swap
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		recv := ast.Unparen(sel.X)
+
+		// Guarded-field mutation: <root>...<field>.Store(x) / .Swap(x).
+		if method == "Store" || method == "Swap" {
+			if fieldSel, ok := recv.(*ast.SelectorExpr); ok {
+				if v, ok := pass.Info.Uses[fieldSel.Sel].(*types.Var); ok {
+					if spec, guarded := guards[v]; guarded {
+						swaps = append(swaps, swap{
+							pos: call.Pos(), root: rootIdentObj(pass.Info, fieldSel.X),
+							field: v, spec: spec, verb: method,
+						})
+					}
+				}
+			}
+		}
+
+		// Mutex transitions: <root>.<mutex>.Lock() / .Unlock(). A
+		// deferred Unlock holds the section open to function end, so
+		// only direct Unlock statements close it.
+		if method == "Lock" || method == "Unlock" {
+			if mutexSel, ok := recv.(*ast.SelectorExpr); ok {
+				name := strings.ToLower(method)
+				if name == "unlock" && inDefer(fd, call.Pos()) {
+					return true
+				}
+				events = append(events, event{
+					pos: call.Pos(), root: rootIdentObj(pass.Info, mutexSel.X),
+					name: name + ":" + mutexSel.Sel.Name,
+				})
+			}
+		}
+
+		// Invalidation: <root>.<chain>() matching a guard's spec.
+		if chain, root := selectorChain(pass.Info, sel); chain != "" {
+			events = append(events, event{pos: call.Pos(), root: root, name: "invalidate:" + chain})
+		}
+		return true
+	})
+
+	for _, sw := range swaps {
+		field := sw.field.Name()
+		// The latest Lock of the owning mutex on the same struct value
+		// before the swap, not yet closed by an Unlock.
+		lockPos := token.NoPos
+		for _, ev := range events {
+			if ev.pos >= sw.pos || ev.root == nil || ev.root != sw.root {
+				continue
+			}
+			switch ev.name {
+			case "lock:" + sw.spec.mutex:
+				lockPos = ev.pos
+			case "unlock:" + sw.spec.mutex:
+				lockPos = token.NoPos
+			}
+		}
+		if lockPos == token.NoPos {
+			pass.Reportf(sw.pos, "%s of guarded atomic.Pointer %s outside the %s critical section (see //avlint:guardedBy on the field)",
+				sw.verb, field, sw.spec.mutex)
+			continue
+		}
+		if sw.spec.invalidate == "" {
+			continue
+		}
+		// The invalidation must land between that Lock and the first
+		// direct Unlock after it (function end if none).
+		sectionEnd := token.Pos(1 << 60)
+		for _, ev := range events {
+			if ev.name == "unlock:"+sw.spec.mutex && ev.root == sw.root && ev.pos > lockPos && ev.pos < sectionEnd {
+				sectionEnd = ev.pos
+			}
+		}
+		invalidated := false
+		for _, ev := range events {
+			if ev.name == "invalidate:"+sw.spec.invalidate && ev.root == sw.root && ev.pos > lockPos && ev.pos < sectionEnd {
+				invalidated = true
+				break
+			}
+		}
+		if !invalidated {
+			pass.Reportf(sw.pos, "%s of guarded atomic.Pointer %s must invalidate via %s() in the same %s critical section",
+				sw.verb, field, sw.spec.invalidate, sw.spec.mutex)
+		}
+	}
+}
+
+// selectorChain renders a call target like s.cache.clear as
+// "cache.clear" plus the root identifier's object; chains that do not
+// bottom out in an identifier return "".
+func selectorChain(info *types.Info, sel *ast.SelectorExpr) (string, types.Object) {
+	var parts []string
+	expr := ast.Expr(sel)
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			parts = append([]string{e.Sel.Name}, parts...)
+			expr = e.X
+		case *ast.Ident:
+			return strings.Join(parts, "."), info.ObjectOf(e)
+		default:
+			return "", nil
+		}
+	}
+}
+
+// inDefer reports whether pos falls inside a defer statement of fd.
+func inDefer(fd *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && d.Pos() <= pos && pos <= d.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

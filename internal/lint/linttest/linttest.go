@@ -1,0 +1,116 @@
+// Package linttest runs avlint analyzers over self-contained fixture
+// modules and checks their findings against expectations embedded in
+// the fixture source, in the style of x/tools' analysistest:
+//
+//	f.Close() // want "error discarded"
+//
+// A `// want "regex"` comment expects exactly one finding on its line
+// whose message matches the regex; every finding must be expected.
+// Fixtures live in internal/lint/testdata/<analyzer>/, each its own
+// tiny module (a go.mod is required so the loader treats the fixture
+// as a root package and not part of this repo), importing only the
+// standard library so loading works offline.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"autovalidate/internal/lint/analysis"
+	"autovalidate/internal/lint/load"
+)
+
+// want is one expectation: a finding on file:line matching rx.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// wantRE accepts either quote style; backticks keep regexes with
+// escaped metacharacters readable.
+var wantRE = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// Run loads the fixture module rooted at dir, applies the analyzers,
+// and reports mismatches between findings and `// want` comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	units, err := load.Packages(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("fixture %s contains no packages", dir)
+	}
+	var findings []analysis.Finding
+	for _, u := range units {
+		findings = append(findings, analysis.Run(u, analyzers)...)
+	}
+
+	wants := collectWants(t, dir)
+	for _, f := range findings {
+		if w := match(wants, f); w != nil {
+			w.hit = true
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// match finds the first unmatched want covering the finding.
+func match(wants []*want, f analysis.Finding) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Position.Filename && w.line == f.Position.Line && w.rx.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every fixture source file for want comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			expr := m[1]
+			if expr == "" {
+				expr = m[2]
+			}
+			rx, err := regexp.Compile(expr)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, expr, err)
+			}
+			wants = append(wants, &want{file: abs, line: i + 1, rx: rx})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture %s: %v", dir, err)
+	}
+	return wants
+}

@@ -1,0 +1,48 @@
+// Fixture for the bodylimit analyzer: HTTP handlers must route request
+// bodies through http.MaxBytesReader.
+package fixture
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func unbounded(w http.ResponseWriter, r *http.Request) {
+	b, _ := io.ReadAll(r.Body) // want "without http.MaxBytesReader"
+	w.Write(b)
+}
+
+func unboundedDecoder(w http.ResponseWriter, r *http.Request) {
+	var v any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want "without http.MaxBytesReader"
+}
+
+func bounded(w http.ResponseWriter, r *http.Request) {
+	b, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	w.Write(b)
+}
+
+func rebound(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var v any
+	_ = json.NewDecoder(r.Body).Decode(&v)
+}
+
+func closeOnly(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		_ = r.Body.Close()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+var handlerLit = func(w http.ResponseWriter, r *http.Request) {
+	var v any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want "without http.MaxBytesReader"
+}
+
+// client is not handler-shaped (no ResponseWriter): reading the body of
+// an outgoing request is out of scope.
+func client(r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body)
+}

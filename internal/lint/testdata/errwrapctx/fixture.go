@@ -1,0 +1,26 @@
+// Fixture for the errwrapctx analyzer, rule 1: error values formatted
+// into fmt.Errorf must use %w.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func flattened(err error) error {
+	return fmt.Errorf("loading index: %v", err) // want "without %w"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("loading index: %w", err)
+}
+
+func noErrorArg(n int) error {
+	return fmt.Errorf("bad shard count %d", n)
+}
+
+func mixedArgs(path string, err error) error {
+	return fmt.Errorf("reading %s: %s", path, err) // want "without %w"
+}

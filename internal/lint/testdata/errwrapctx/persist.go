@@ -1,0 +1,37 @@
+// Rule 2 of errwrapctx applies to persist*.go files: errors from other
+// packages must not be returned bare.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func loadBare(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err // want "persistence error from os.ReadFile returned without context"
+	}
+	return data, nil
+}
+
+func loadWrapped(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot %s: %w", path, err)
+	}
+	return data, nil
+}
+
+func loadLocal(path string) ([]byte, error) {
+	data, err := localRead(path)
+	if err != nil {
+		// Same-package errors already carry their context.
+		return nil, err
+	}
+	return data, nil
+}
+
+func localRead(path string) ([]byte, error) {
+	return nil, fmt.Errorf("persist: no section header in %s", path)
+}

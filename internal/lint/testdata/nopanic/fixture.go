@@ -1,0 +1,62 @@
+// Fixture for the nopanic analyzer: panic-like sinks reachable (and
+// not reachable) from decode/parse/load-shaped entry points.
+package fixture
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func ParseThing(b []byte) (int, error) {
+	if len(b) == 0 {
+		panic("empty input") // want "panic reachable from entry point ParseThing"
+	}
+	return int(b[0]), nil
+}
+
+func DecodeThing(b []byte) int {
+	return helper(b)
+}
+
+func helper(b []byte) int {
+	if len(b) == 0 {
+		log.Fatal("empty input") // want "log.Fatal reachable from entry point DecodeThing"
+	}
+	return int(b[0])
+}
+
+func LoadThing(path string) error {
+	if path == "" {
+		os.Exit(2) // want "os.Exit reachable from entry point LoadThing"
+	}
+	return nil
+}
+
+// ReadThing does it right: corrupt input comes back as an error.
+func ReadThing(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errors.New("empty input")
+	}
+	return int(b[0]), nil
+}
+
+// MustDecode panics by convention (Must prefix); not an entry point.
+func MustDecode(b []byte) int {
+	if len(b) == 0 {
+		panic("empty input")
+	}
+	return int(b[0])
+}
+
+// validate is unexported: its panic is only a finding if an entry
+// point can reach it, and none does.
+func validate() {
+	panic("internal invariant")
+}
+
+// HandleThing is exported but not entry-shaped; its panic is out of
+// scope for this analyzer.
+func HandleThing() {
+	panic("boom")
+}

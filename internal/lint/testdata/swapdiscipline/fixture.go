@@ -1,0 +1,71 @@
+// Fixture for the swapdiscipline analyzer: every way a guarded
+// atomic.Pointer swap can honor or violate the lock + invalidate
+// protocol declared on the field.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type ruleCache struct{}
+
+func (c *ruleCache) clear() {}
+
+type server struct {
+	mu    sync.Mutex
+	cache *ruleCache
+
+	//avlint:guardedBy mu
+	//avlint:invalidate cache.clear
+	idx atomic.Pointer[int]
+
+	//avlint:guardedBy mu
+	plain int // want "not an atomic.Pointer"
+}
+
+func (s *server) goodSwap(next *int) {
+	s.mu.Lock()
+	s.idx.Store(next)
+	s.cache.clear()
+	s.mu.Unlock()
+}
+
+func (s *server) goodDeferredUnlock(next *int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Store(next)
+	s.cache.clear()
+}
+
+func (s *server) storeWithoutLock(next *int) {
+	s.idx.Store(next) // want "outside the mu critical section"
+}
+
+func (s *server) swapWithoutLock(next *int) *int {
+	return s.idx.Swap(next) // want "outside the mu critical section"
+}
+
+func (s *server) storeAfterUnlock(next *int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.idx.Store(next) // want "outside the mu critical section"
+}
+
+func (s *server) missingInvalidate(next *int) {
+	s.mu.Lock()
+	s.idx.Store(next) // want "must invalidate via cache.clear"
+	s.mu.Unlock()
+}
+
+func (s *server) invalidateOutsideSection(next *int) {
+	s.mu.Lock()
+	s.idx.Store(next) // want "must invalidate via cache.clear"
+	s.mu.Unlock()
+	s.cache.clear()
+}
+
+func (s *server) allowedConstructorStyle(next *int) {
+	//avlint:allow swapdiscipline fixture exercises suppression
+	s.idx.Store(next)
+}

@@ -1,0 +1,103 @@
+// Fixture for the uncheckedclose analyzer: discarded Close/Flush/Sync
+// on write handles and leaked HTTP response bodies.
+package fixture
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+)
+
+func discardedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `f.Close\(\) error discarded`
+	return nil
+}
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "discarded by defer"
+	_, err = f.WriteString("payload")
+	return err
+}
+
+func discardedSync(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Sync() // want `f.Sync\(\) error discarded`
+	return f.Close()
+}
+
+func checkedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func acknowledgedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// Conscious discard: the explicit blank assignment is reviewable.
+	_ = f.Close()
+	return nil
+}
+
+func allowedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//avlint:allow uncheckedclose fixture exercises suppression
+	f.Close()
+	return nil
+}
+
+func discardedFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	_, _ = bw.WriteString("payload")
+	bw.Flush() // want `bw.Flush\(\) error discarded`
+}
+
+func checkedFlush(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("payload"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func leakedBody(url string) (int, error) {
+	resp, err := http.Get(url) // want "response body never closed"
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func closedBody(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func escapingBody(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	return resp, err
+}

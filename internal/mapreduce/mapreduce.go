@@ -6,6 +6,7 @@
 package mapreduce
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -158,10 +159,13 @@ func runShardedSerial[T any, V any](cfg Config, nshards int, items []T, mapper f
 // incremental half of RunSharded: a delta job's output merges into an
 // existing shard set with no cross-shard rehash, so ingesting a batch
 // costs only the batch's own keys. dst and src must have the same length
-// and dst's maps must be non-nil; src maps may be nil or empty.
-func MergeShards[V any](dst, src []map[string]V, combiner func(a, b V) V) {
+// and dst's maps must be non-nil; src maps may be nil or empty. A shard
+// count mismatch returns an error with dst untouched — the caller chose
+// the layouts, so the mismatch is its configuration bug to surface, not
+// a condition worth crashing a serving node over.
+func MergeShards[V any](dst, src []map[string]V, combiner func(a, b V) V) error {
 	if len(dst) != len(src) {
-		panic("mapreduce: MergeShards shard counts differ")
+		return fmt.Errorf("mapreduce: MergeShards shard counts differ: dst has %d, src has %d", len(dst), len(src))
 	}
 	var wg sync.WaitGroup
 	for s := range dst {
@@ -182,6 +186,7 @@ func MergeShards[V any](dst, src []map[string]V, combiner func(a, b V) V) {
 		}(s)
 	}
 	wg.Wait()
+	return nil
 }
 
 // Map applies fn to every item in parallel and returns the results in

@@ -36,7 +36,9 @@ func TestRunWordCount(t *testing.T) {
 func TestMergeShards(t *testing.T) {
 	dst := []map[string]int{{"a": 1, "b": 2}, {"x": 10}, {}}
 	src := []map[string]int{{"b": 3, "c": 4}, nil, {"y": 5}}
-	MergeShards(dst, src, func(a, b int) int { return a + b })
+	if err := MergeShards(dst, src, func(a, b int) int { return a + b }); err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
 	want := []map[string]int{{"a": 1, "b": 5, "c": 4}, {"x": 10}, {"y": 5}}
 	for s := range want {
 		if len(dst[s]) != len(want[s]) {
@@ -49,12 +51,9 @@ func TestMergeShards(t *testing.T) {
 		}
 	}
 
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched shard counts should panic (caller bug)")
-		}
-	}()
-	MergeShards(dst, src[:2], func(a, b int) int { return a + b })
+	if err := MergeShards(dst, src[:2], func(a, b int) int { return a + b }); err == nil {
+		t.Error("mismatched shard counts should return an error (caller bug)")
+	}
 }
 
 func TestRunSerialEqualsParallel(t *testing.T) {

@@ -66,15 +66,6 @@ func Parse(s string) (Pattern, error) {
 	return p, nil
 }
 
-// MustParse is Parse for tests and static patterns; it panics on error.
-func MustParse(s string) Pattern {
-	p, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 var classNames = map[string]tokens.Class{
 	"<digit>":  tokens.ClassDigit,
 	"<letter>": tokens.ClassLetter,

@@ -93,17 +93,11 @@ func TestParseMatchesEquivalently(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustParse should panic on invalid input")
-		}
-	}()
-	MustParse("<digit>")
-}
-
 func TestParseOptionalClassRange(t *testing.T) {
-	p := MustParse("<letter>{0,2}")
+	p, err := Parse("<letter>{0,2}")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
 	if !p.Match("") || !p.Match("ab") || p.Match("abc") {
 		t.Error("optional class range mis-parsed")
 	}

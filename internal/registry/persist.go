@@ -255,7 +255,9 @@ func writeAtomic(path string, write func(w *bufio.Writer) error) error {
 	}
 	w := bufio.NewWriter(tmp)
 	fail := func(err error) error {
-		tmp.Close()
+		// The temp file is being discarded: its close error cannot
+		// outrank the write error already being returned.
+		_ = tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("registry: writing %s: %w", path, err)
 	}

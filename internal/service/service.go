@@ -96,7 +96,13 @@ type Config struct {
 // All methods are safe for concurrent use.
 type Server struct {
 	// idx is swapped wholesale by ingestion; request handlers load it
-	// once and use that snapshot for the whole request.
+	// once and use that snapshot for the whole request. Every swap must
+	// clear the rule cache in the same mu critical section, or a cached
+	// rule inferred against the old index survives the swap
+	// (avlint:swapdiscipline enforces this).
+	//
+	//avlint:guardedBy mu
+	//avlint:invalidate cache.clear
 	idx atomic.Pointer[index.Index]
 	// opt holds the inference defaults behind an atomic pointer because
 	// a follower's snapshot install retunes τ to the replicated index's
@@ -235,6 +241,9 @@ func New(cfg Config) (*Server, error) {
 	for _, route := range routes {
 		s.endpoints[route] = &endpointStats{latency: newHistogram()}
 	}
+	// Construction: no reader can hold a snapshot yet and the cache is
+	// still empty, so this store needs no critical section.
+	//avlint:allow swapdiscipline pre-publication store in the constructor
 	s.idx.Store(cfg.Index)
 	s.ready.Store(!cfg.StartUnready)
 	return s, nil
@@ -516,7 +525,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// snapshot they loaded, and the swap below publishes the new index
 	// and invalidates the rule cache in one critical section.
 	next := s.idx.Load().Clone()
-	delta := next.IngestColumns(cols, index.BuildOptions{})
+	delta, err := next.IngestColumns(cols, index.BuildOptions{})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	if s.deltaLog != nil {
 		// Append BEFORE publishing the swap: a replication reader that
 		// observes the new generation must find the delta chain already

@@ -94,7 +94,7 @@ func LoadRule(path string) (*Rule, error) {
 	}
 	var r Rule
 	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("validate: parsing rule %s: %w", path, err)
 	}
 	return &r, nil
 }

@@ -8,14 +8,23 @@ import (
 	"autovalidate/internal/stats"
 )
 
+func mustParse(t *testing.T, s string) pattern.Pattern {
+	t.Helper()
+	p, err := pattern.Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return p
+}
+
 func TestRuleSaveLoadRoundTrip(t *testing.T) {
 	r := dateRule()
 	r.EstimatedFPR = 0.0042
 	r.TrainNonConforming = 3
 	r.Strategy = "FMDV-VH"
 	r.Segments = []pattern.Pattern{
-		pattern.MustParse("<letter>{3}"),
-		pattern.MustParse(" <digit>{2} <digit>{4}"),
+		mustParse(t, "<letter>{3}"),
+		mustParse(t, " <digit>{2} <digit>{4}"),
 	}
 	path := filepath.Join(t.TempDir(), "rule.json")
 	if err := r.Save(path); err != nil {
@@ -63,7 +72,7 @@ func TestRuleSetSaveLoadRoundTrip(t *testing.T) {
 	rs := NewRuleSet()
 	rs.Add("date", dateRule())
 	other := dateRule()
-	other.Pattern = pattern.MustParse("<letter>{2}-<letter>{2}")
+	other.Pattern = mustParse(t, "<letter>{2}-<letter>{2}")
 	rs.Add("locale", other)
 
 	path := filepath.Join(t.TempDir(), "rules.json")
