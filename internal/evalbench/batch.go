@@ -1,0 +1,141 @@
+package evalbench
+
+// The batch experiment records the matcher's perf trajectory: the
+// per-value path (budgeted backtracker over []string) against the
+// compiled zero-allocation batch path (DFA/pike-VM over [][]byte), plus
+// the adversarial pattern that used to send the old backtracker
+// exponential. CI archives the record and gates on the batch
+// throughput, so a regression in the compiled matcher fails the build
+// instead of landing silently.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/datagen"
+	"autovalidate/internal/pattern"
+	"autovalidate/internal/tokens"
+	"autovalidate/internal/validate"
+)
+
+// BatchResult is the outcome of the batch-vs-per-value comparison.
+type BatchResult struct {
+	// Values is the batch size; Rounds how many times each path ran.
+	Values int
+	Rounds int
+	// PerValuePerSec and BatchPerSec are single-core validation
+	// throughputs; Speedup their ratio.
+	PerValuePerSec float64
+	BatchPerSec    float64
+	Speedup        float64
+	// Engine reports how the rule's compiled program matches ("dfa" or
+	// "nfa").
+	Engine string
+	// AdversarialMillis is the compiled-path wall time for the k-adjacent
+	// <digit>+ pattern against a long non-matching digit string — the
+	// input that was exponential for the unbudgeted backtracker.
+	AdversarialMillis float64
+}
+
+// BatchExperiment measures both validation paths over a timestamp
+// column inferred against the Enterprise index.
+func (e *Env) BatchExperiment(values, rounds int) (BatchResult, error) {
+	opt := core.DefaultOptions()
+	opt.R, opt.M, opt.Theta, opt.Tau = e.Cfg.R, e.Cfg.M, e.Cfg.Theta, e.Cfg.Tau
+
+	train, err := datagen.FreshColumn("timestamp_us", values, e.Cfg.Seed+777)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	rule, err := core.Infer(train, e.IdxE, opt)
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("batch experiment: %w", err)
+	}
+	rule.Precompile()
+
+	batch, err := datagen.FreshColumn("timestamp_us", values, e.Cfg.Seed+778)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	byteBatch := make([][]byte, len(batch))
+	for i, v := range batch {
+		byteBatch[i] = []byte(v)
+	}
+
+	res := BatchResult{Values: values, Rounds: rounds, Engine: rule.Program().Mode()}
+
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		if _, err := rule.Validate(batch); err != nil {
+			return BatchResult{}, err
+		}
+	}
+	perValue := time.Since(t0).Seconds()
+
+	rep := validate.AcquireBatchReport()
+	defer rep.Release()
+	t0 = time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := rule.ValidateBatch(byteBatch, rep); err != nil {
+			return BatchResult{}, err
+		}
+	}
+	batched := time.Since(t0).Seconds()
+
+	total := float64(values * rounds)
+	if perValue > 0 {
+		res.PerValuePerSec = total / perValue
+	}
+	if batched > 0 {
+		res.BatchPerSec = total / batched
+	}
+	if res.PerValuePerSec > 0 {
+		res.Speedup = res.BatchPerSec / res.PerValuePerSec
+	}
+
+	// The adversarial probe: k adjacent <digit>+ runs against 10k digits
+	// that fail at the last byte. Exponential for a backtracker, linear
+	// for the compiled program.
+	var advToks []pattern.Tok
+	for i := 0; i < 8; i++ {
+		advToks = append(advToks, pattern.ClassPlus(tokens.ClassDigit))
+	}
+	adv := pattern.New(advToks...)
+	victim := strings.Repeat("9", 10000) + "!"
+	prog := pattern.Compile(adv)
+	t0 = time.Now()
+	if prog.MatchString(victim) {
+		return BatchResult{}, fmt.Errorf("batch experiment: adversarial value must not match")
+	}
+	res.AdversarialMillis = float64(time.Since(t0).Microseconds()) / 1000
+	return res, nil
+}
+
+// FormatBatch renders the batch experiment result.
+func FormatBatch(r BatchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "batch size:         %d values x %d rounds\n", r.Values, r.Rounds)
+	fmt.Fprintf(&sb, "per-value path:     %.0f values/s\n", r.PerValuePerSec)
+	fmt.Fprintf(&sb, "batch path (%s):   %.0f values/s\n", r.Engine, r.BatchPerSec)
+	fmt.Fprintf(&sb, "speedup:            %.1fx\n", r.Speedup)
+	fmt.Fprintf(&sb, "adversarial match:  %.3f ms (8x <digit>+ vs 10k digits)\n", r.AdversarialMillis)
+	return sb.String()
+}
+
+// ReadBenchRecord loads a BENCH_<exp>.json written by BenchRecord.Write
+// — the committed-baseline side of avbench's regression gate.
+func ReadBenchRecord(path string) (BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return BenchRecord{}, fmt.Errorf("benchrecord: parsing %s: %w", path, err)
+	}
+	return rec, nil
+}

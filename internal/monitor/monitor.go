@@ -321,12 +321,13 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 	}
 	if dv := validatorFor(stream.Domain); dv != nil {
 		v.Domain = stream.Domain.Name
+		prog := stream.Rule.Program()
 		for _, val := range values {
 			if dv.Validate(val) == nil {
 				continue
 			}
 			v.DomainInvalid++
-			if stream.Rule.Pattern.Match(val) {
+			if prog.MatchString(val) {
 				v.DomainOnlyInvalid++
 				if len(v.DomainExamples) < maxDomainExamples {
 					v.DomainExamples = append(v.DomainExamples, val)
@@ -335,15 +336,71 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 		}
 	}
 
+	return e.finish(stream, v, rep.Alarm), nil
+}
+
+// CheckBytes is Check over a decoded column slab: values are byte views
+// (typically into one contiguous request buffer) and matching runs
+// through the rule's compiled program via the zero-allocation batch
+// path. Strings are materialized only for the handful of retained
+// examples and, when the stream carries a semantic domain, for the
+// validator pass.
+func (e *Engine) CheckBytes(stream registry.Stream, values [][]byte) (Decision, error) {
+	if stream.Rule == nil {
+		return Decision{}, fmt.Errorf("monitor: stream %q has no rule", stream.Name)
+	}
+	if len(values) == 0 {
+		return Decision{}, fmt.Errorf("monitor: stream %q: %w", stream.Name, validate.ErrEmptyBatch)
+	}
+
+	rep := validate.AcquireBatchReport()
+	defer rep.Release()
+	if err := stream.Rule.ValidateBatch(values, rep); err != nil {
+		return Decision{}, fmt.Errorf("monitor: stream %q: %w", stream.Name, err)
+	}
+
+	v := Verdict{
+		StreamVersion: stream.Version,
+		Total:         rep.Total,
+		NonConforming: rep.NonConforming,
+		PValue:        rep.PValue,
+		Examples:      rep.Examples(values),
+	}
+	if dv := validatorFor(stream.Domain); dv != nil {
+		v.Domain = stream.Domain.Name
+		prog := stream.Rule.Program()
+		for _, val := range values {
+			sv := string(val)
+			if dv.Validate(sv) == nil {
+				continue
+			}
+			v.DomainInvalid++
+			if prog.Match(val) {
+				v.DomainOnlyInvalid++
+				if len(v.DomainExamples) < maxDomainExamples {
+					v.DomainExamples = append(v.DomainExamples, sv)
+				}
+			}
+		}
+	}
+
+	return e.finish(stream, v, rep.Alarm), nil
+}
+
+// finish runs the decode-independent half of a batch check: the
+// binomial drift test over the combined evidence, the escalation
+// decision, and the fold into the stream's rolling history. v carries
+// the batch's counts and examples; alarm is the homogeneity verdict.
+func (e *Engine) finish(stream registry.Stream, v Verdict, alarm bool) Decision {
 	bound := fprBound(stream.Rule)
-	evidence := rep.NonConforming + v.DomainOnlyInvalid
-	driftP := stats.BinomialTailP(evidence, rep.Total, bound)
-	rateLo, _ := stats.ClopperPearson(evidence, rep.Total, e.policy.Confidence)
+	evidence := v.NonConforming + v.DomainOnlyInvalid
+	driftP := stats.BinomialTailP(evidence, v.Total, bound)
+	rateLo, _ := stats.ClopperPearson(evidence, v.Total, e.policy.Confidence)
 	v.DriftP = driftP
 	v.RateLo = rateLo
 
-	small := rep.Total < e.policy.MinBatch
-	alarmed := !small && (rep.Alarm || driftP < e.policy.Alpha)
+	small := v.Total < e.policy.MinBatch
+	alarmed := !small && (alarm || driftP < e.policy.Alpha)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -376,14 +433,14 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 
 	// Semantically invalid values count against the pass rate exactly
 	// once (evidence is the union of the two failure classes).
-	passRate := 1 - float64(evidence)/float64(rep.Total)
+	passRate := 1 - float64(evidence)/float64(v.Total)
 	if st.seq == 1 {
 		st.ewma = passRate
 	} else {
 		st.ewma = e.policy.EWMAAlpha*passRate + (1-e.policy.EWMAAlpha)*st.ewma
 	}
-	st.values += rep.Total
-	st.nonConforming += rep.NonConforming
+	st.values += v.Total
+	st.nonConforming += v.NonConforming
 	st.domainInvalid += v.DomainInvalid
 	switch v.Action {
 	case Alarm:
@@ -402,7 +459,7 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 		PassEWMA:          st.ewma,
 		ConsecutiveAlarms: st.consec,
 		Stale:             stream.Stale,
-	}, nil
+	}
 }
 
 // Reset drops the rolling state of one stream — called when its rule is

@@ -278,3 +278,50 @@ func TestConcurrentChecks(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckBytesMatchesCheck drives the columnar byte path and the
+// string path over identical batches (on separate engines, so both see
+// the same history) and requires identical decisions.
+func TestCheckBytesMatchesCheck(t *testing.T) {
+	rule := fourDigitRule(t, 0.01, 0.01)
+	strEngine := NewEngine(DefaultPolicy())
+	byteEngine := NewEngine(DefaultPolicy())
+	st := stream("s", rule, false)
+	for _, bad := range []int{0, 2, 40} {
+		vals := batch(200, bad)
+		bytesVals := make([][]byte, len(vals))
+		for i, v := range vals {
+			bytesVals[i] = []byte(v)
+		}
+		want, err := strEngine.Check(st, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := byteEngine.CheckBytes(st, bytesVals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv, gv := want.Verdict, got.Verdict
+		if gv.Total != wv.Total || gv.NonConforming != wv.NonConforming ||
+			gv.PValue != wv.PValue || gv.DriftP != wv.DriftP ||
+			gv.Action != wv.Action || gv.Seq != wv.Seq {
+			t.Errorf("bad=%d: CheckBytes %+v != Check %+v", bad, gv, wv)
+		}
+		if fmt.Sprint(gv.Examples) != fmt.Sprint(wv.Examples) {
+			t.Errorf("bad=%d: examples %q != %q", bad, gv.Examples, wv.Examples)
+		}
+		if got.PassEWMA != want.PassEWMA || got.ConsecutiveAlarms != want.ConsecutiveAlarms {
+			t.Errorf("bad=%d: rolling state diverged: %+v != %+v", bad, got, want)
+		}
+	}
+}
+
+func TestCheckBytesEmptyAndNilRule(t *testing.T) {
+	e := NewEngine(DefaultPolicy())
+	if _, err := e.CheckBytes(stream("s", fourDigitRule(t, 0.01, 0.01), false), nil); err == nil {
+		t.Error("empty byte batch must error")
+	}
+	if _, err := e.CheckBytes(registry.Stream{Name: "s"}, [][]byte{[]byte("1234")}); err == nil {
+		t.Error("nil rule must error")
+	}
+}

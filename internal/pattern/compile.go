@@ -1,0 +1,354 @@
+package pattern
+
+// Compile lowers a pattern's token list into a Program: literals become
+// exact-byte instructions, class runs with {n}/{n,m}/+ bounds become
+// counted repetitions with split edges, <num> becomes the grammar
+// sign? digit+ ('.' digit+)?, and optional tokens split around their
+// body. The NFA is then determinized into a DFA over a compressed byte
+// alphabet when it fits under the state cap; patterns that blow the cap
+// (huge counted repetitions) keep the linear pike-VM form.
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"autovalidate/internal/tokens"
+)
+
+// maxDFAStates caps subset construction: beyond this the program stays
+// in NFA mode. Inferred patterns are τ-capped and rarely exceed a few
+// dozen states; the cap only triggers on adversarial bounded counts.
+const maxDFAStates = 2048
+
+// maxDFAInsts skips determinization outright for huge programs, whose
+// transition tables would not pay for themselves.
+const maxDFAInsts = 4096
+
+// classSets caches the byte membership of every token class, derived
+// from tokens.ClassOf so the compiled matcher agrees byte-for-byte with
+// the legacy one.
+var classSets = func() map[tokens.Class]byteSet {
+	sets := make(map[tokens.Class]byteSet)
+	for _, c := range []tokens.Class{
+		tokens.ClassDigit, tokens.ClassLetter, tokens.ClassSymbol,
+		tokens.ClassSpace, tokens.ClassAlnum, tokens.ClassAny, tokens.ClassNone,
+	} {
+		var s byteSet
+		for b := 0; b < 256; b++ {
+			if c.Generalizes(tokens.ClassOf(byte(b))) {
+				s.add(byte(b))
+			}
+		}
+		sets[c] = s
+	}
+	return sets
+}()
+
+var (
+	digitSet = classSets[tokens.ClassDigit]
+	signSet  = func() byteSet {
+		var s byteSet
+		s.add('+')
+		s.add('-')
+		return s
+	}()
+	dotSet = func() byteSet {
+		var s byteSet
+		s.add('.')
+		return s
+	}()
+)
+
+type compiler struct {
+	insts   []inst
+	preds   []byteSet
+	predIdx map[byteSet]uint16
+}
+
+func (c *compiler) pred(s byteSet) uint16 {
+	if i, ok := c.predIdx[s]; ok {
+		return i
+	}
+	i := uint16(len(c.preds))
+	c.preds = append(c.preds, s)
+	c.predIdx[s] = i
+	return i
+}
+
+func (c *compiler) pc() int32 { return int32(len(c.insts)) }
+
+func (c *compiler) emitByte(pred uint16) {
+	c.insts = append(c.insts, inst{op: opByte, pred: pred})
+}
+
+// emitSplit emits a split with both targets unset; the caller patches
+// x and y.
+func (c *compiler) emitSplit() int32 {
+	c.insts = append(c.insts, inst{op: opSplit})
+	return c.pc() - 1
+}
+
+func (c *compiler) emitJmp() int32 {
+	c.insts = append(c.insts, inst{op: opJmp})
+	return c.pc() - 1
+}
+
+// Compile builds the matching program for a pattern. It always
+// succeeds: every pattern the language can express is regular.
+func Compile(p Pattern) *Program {
+	prog := compileNFA(p)
+	if len(prog.insts) <= maxDFAInsts {
+		prog.dfa = determinize(prog)
+	}
+	return prog
+}
+
+// compileNFA builds the pike-VM form without determinization. Tests use
+// it directly to exercise the fallback path; Compile layers the DFA on
+// top.
+func compileNFA(p Pattern) *Program {
+	c := &compiler{predIdx: make(map[byteSet]uint16)}
+	for _, t := range p.Toks {
+		c.token(t)
+	}
+	c.insts = append(c.insts, inst{op: opMatch})
+	return &Program{insts: c.insts, preds: c.preds}
+}
+
+func (c *compiler) token(t Tok) {
+	switch t.Kind {
+	case KindLiteral:
+		var guard int32 = -1
+		if t.Opt {
+			guard = c.emitSplit()
+			c.insts[guard].x = c.pc()
+		}
+		for i := 0; i < len(t.Lit); i++ {
+			var s byteSet
+			s.add(t.Lit[i])
+			c.emitByte(c.pred(s))
+		}
+		if guard >= 0 {
+			c.insts[guard].y = c.pc()
+		}
+	case KindNum:
+		var guard int32 = -1
+		if t.Opt {
+			guard = c.emitSplit()
+			c.insts[guard].x = c.pc()
+		}
+		// sign?
+		s := c.emitSplit()
+		c.insts[s].x = c.pc()
+		c.emitByte(c.pred(signSet))
+		c.insts[s].y = c.pc()
+		// digit+
+		c.plus(c.pred(digitSet))
+		// ('.' digit+)?
+		f := c.emitSplit()
+		c.insts[f].x = c.pc()
+		c.emitByte(c.pred(dotSet))
+		c.plus(c.pred(digitSet))
+		c.insts[f].y = c.pc()
+		if guard >= 0 {
+			c.insts[guard].y = c.pc()
+		}
+	default: // KindClass
+		pred := c.pred(classSets[t.Class])
+		min := t.Min
+		if min < 0 {
+			min = 0
+		}
+		if t.Max != Unbounded && t.Max < min {
+			// A bound like {2,1} matches nothing — the legacy matcher
+			// never finds a count in the empty range. Emit a dead-end
+			// byte with an empty predicate so the program agrees.
+			c.emitByte(c.pred(byteSet{}))
+			return
+		}
+		for i := 0; i < min; i++ {
+			c.emitByte(pred)
+		}
+		if t.Max == Unbounded {
+			c.star(pred)
+			return
+		}
+		// (max-min) optional repetitions, each splitting to the token
+		// end so shorter counts remain reachable.
+		var pending []int32
+		for i := min; i < t.Max; i++ {
+			s := c.emitSplit()
+			c.insts[s].x = c.pc()
+			pending = append(pending, s)
+			c.emitByte(pred)
+		}
+		end := c.pc()
+		for _, s := range pending {
+			c.insts[s].y = end
+		}
+	}
+}
+
+// plus emits pred+ (one required repetition, then a loop).
+func (c *compiler) plus(pred uint16) {
+	c.emitByte(pred)
+	c.star(pred)
+}
+
+// star emits pred*.
+func (c *compiler) star(pred uint16) {
+	s := c.emitSplit()
+	c.insts[s].x = c.pc()
+	c.emitByte(pred)
+	j := c.emitJmp()
+	c.insts[j].x = s
+	c.insts[s].y = c.pc()
+}
+
+// determinize runs subset construction over the program's compressed
+// byte alphabet, returning nil when the state cap is exceeded.
+func determinize(p *Program) *dfaTable {
+	d := &dfaTable{}
+	// Compress the 256-byte alphabet: bytes with identical membership
+	// across every predicate transition identically and share a symbol.
+	type symInfo struct {
+		id  uint8
+		rep byte
+	}
+	sig := make([]byte, (len(p.preds)+7)/8)
+	classes := make(map[string]symInfo)
+	reps := make([]byte, 0, 16)
+	for b := 0; b < 256; b++ {
+		for i := range sig {
+			sig[i] = 0
+		}
+		for pi := range p.preds {
+			if p.preds[pi].has(byte(b)) {
+				sig[pi>>3] |= 1 << (pi & 7)
+			}
+		}
+		key := string(sig)
+		info, ok := classes[key]
+		if !ok {
+			info = symInfo{id: uint8(len(reps)), rep: byte(b)}
+			classes[key] = info
+			reps = append(reps, byte(b))
+		}
+		d.symtab[b] = info.id
+	}
+	d.numSym = len(reps)
+
+	// Closure of an NFA state set, as a sorted, deduplicated pc list of
+	// byte/match instructions.
+	mark := make([]bool, len(p.insts))
+	var stack []int32
+	closure := func(set []int32, seeds ...int32) []int32 {
+		for i := range mark {
+			mark[i] = false
+		}
+		stack = append(stack[:0], seeds...)
+		stack = append(stack, set...)
+		var out []int32
+		for len(stack) > 0 {
+			pc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if mark[pc] {
+				continue
+			}
+			mark[pc] = true
+			switch in := &p.insts[pc]; in.op {
+			case opSplit:
+				stack = append(stack, in.x, in.y)
+			case opJmp:
+				stack = append(stack, in.x)
+			default:
+				out = append(out, pc)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	key := func(set []int32) string {
+		buf := make([]byte, 4*len(set))
+		for i, pc := range set {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(pc))
+		}
+		return string(buf)
+	}
+
+	start := closure(nil, 0)
+	states := [][]int32{start}
+	ids := map[string]int32{key(start): 0}
+	var trans [][]int32
+	for si := 0; si < len(states); si++ {
+		row := make([]int32, d.numSym)
+		set := states[si]
+		for sym := 0; sym < d.numSym; sym++ {
+			rep := reps[sym]
+			var moved []int32
+			for _, pc := range set {
+				in := &p.insts[pc]
+				if in.op == opByte && p.preds[in.pred].has(rep) {
+					moved = append(moved, pc+1)
+				}
+			}
+			if len(moved) == 0 {
+				row[sym] = -1
+				continue
+			}
+			next := closure(nil, moved...)
+			k := key(next)
+			id, ok := ids[k]
+			if !ok {
+				if len(states) >= maxDFAStates {
+					return nil
+				}
+				id = int32(len(states))
+				ids[k] = id
+				states = append(states, next)
+			}
+			row[sym] = id
+		}
+		trans = append(trans, row)
+	}
+
+	d.next = make([]int32, len(states)*d.numSym)
+	d.accept = make([]bool, len(states))
+	for si, row := range trans {
+		copy(d.next[si*d.numSym:], row)
+		for _, pc := range states[si] {
+			if p.insts[pc].op == opMatch {
+				d.accept[si] = true
+			}
+		}
+	}
+	if len(states) <= maxFlatStates {
+		// Widen to a byte-indexed table: one load per input byte in the
+		// hot loop. The dead state becomes a real self-looping row (the
+		// last one) so the loop needs no per-byte dead test. 512 states ×
+		// 256 × 4 B caps this at ~512 KiB; typical inferred patterns need
+		// a few dozen states (~tens of KiB).
+		dead := uint32(len(states))
+		d.flat = make([]uint32, (len(states)+1)*256)
+		for si := 0; si < len(states); si++ {
+			for b := 0; b < 256; b++ {
+				nxt := d.next[si*d.numSym+int(d.symtab[b])]
+				if nxt < 0 {
+					d.flat[si<<8|b] = dead
+				} else {
+					d.flat[si<<8|b] = uint32(nxt)
+				}
+			}
+		}
+		for b := 0; b < 256; b++ {
+			d.flat[int(dead)<<8|b] = dead
+		}
+		d.flatAccept = make([]bool, len(states)+1)
+		copy(d.flatAccept, d.accept)
+	}
+	return d
+}
+
+// maxFlatStates bounds the byte-indexed fast table; larger automata use
+// the compressed-alphabet table.
+const maxFlatStates = 512

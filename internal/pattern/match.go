@@ -2,43 +2,66 @@ package pattern
 
 import "autovalidate/internal/tokens"
 
+// matchBudget bounds the legacy backtracker's recursion steps per value.
+// Patterns produced by the enumeration are short, so legitimate matches
+// finish in a few hundred steps; adversarial patterns (k adjacent
+// <digit>+ tokens against a long digit string that fails at the end)
+// are exponential and blow the budget almost immediately, at which
+// point Match answers through the linear compiled program instead. The
+// backtracker can therefore never spin, even when called directly.
+const matchBudget = 1 << 16
+
 // Match reports whether the pattern matches the whole value (anchored at
-// both ends). Matching uses backtracking over token boundaries; patterns
-// produced by the enumeration are short, so worst-case behaviour is
-// bounded in practice by the τ token cap.
+// both ends). One-off matches use backtracking over token boundaries;
+// when the budget is exhausted (pathological backtracking) the value is
+// re-matched with the compiled linear program, so worst-case behaviour
+// is O(len(value)·len(pattern)), never exponential. Hot paths that match
+// many values against one pattern should Compile once and reuse the
+// Program.
 func (p Pattern) Match(v string) bool {
-	return matchFrom(p.Toks, v, 0)
+	steps := matchBudget
+	if ok, done := matchFrom(p.Toks, v, 0, &steps); done {
+		return ok
+	}
+	return Compile(p).MatchString(v)
 }
 
-func matchFrom(toks []Tok, v string, si int) bool {
+// matchFrom backtracks over token boundaries. The second return value
+// is false when the step budget ran out before the search concluded; the
+// first is then meaningless.
+func matchFrom(toks []Tok, v string, si int, steps *int) (bool, bool) {
+	if *steps <= 0 {
+		return false, false
+	}
+	*steps--
 	if len(toks) == 0 {
-		return si == len(v)
+		return si == len(v), true
 	}
 	t := toks[0]
 	rest := toks[1:]
 	switch t.Kind {
 	case KindLiteral:
 		if end := si + len(t.Lit); end <= len(v) && v[si:end] == t.Lit {
-			if matchFrom(rest, v, end) {
-				return true
+			if ok, done := matchFrom(rest, v, end, steps); ok || !done {
+				return ok, done
 			}
 		}
 		if t.Opt {
-			return matchFrom(rest, v, si)
+			return matchFrom(rest, v, si, steps)
 		}
-		return false
+		return false, true
 
 	case KindNum:
 		// <num> = [+-]? digits ( "." digits )?
 		for _, end := range numEnds(v, si) {
-			if matchFrom(rest, v, end) {
-				return true
+			if ok, done := matchFrom(rest, v, end, steps); ok || !done {
+				return ok, done
 			}
 		}
 		if t.Opt {
-			return matchFrom(rest, v, si)
+			return matchFrom(rest, v, si, steps)
 		}
-		return false
+		return false, true
 
 	default: // KindClass
 		// Longest run of characters generalized by the class.
@@ -50,13 +73,17 @@ func matchFrom(toks []Tok, v string, si int) bool {
 		if t.Max != Unbounded && t.Max < hi {
 			hi = t.Max
 		}
+		min := t.Min
+		if min < 0 {
+			min = 0
+		}
 		// Greedy longest-first with backtracking.
-		for n := hi; n >= t.Min; n-- {
-			if matchFrom(rest, v, si+n) {
-				return true
+		for n := hi; n >= min; n-- {
+			if ok, done := matchFrom(rest, v, si+n, steps); ok || !done {
+				return ok, done
 			}
 		}
-		return false
+		return false, true
 	}
 }
 

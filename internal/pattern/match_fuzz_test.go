@@ -1,0 +1,47 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMatchAgree hardens the compiled matcher against the backtracker:
+// for any parseable pattern and any value, the DFA/pike-VM program and
+// the budgeted backtracker must agree on Match — and neither may panic
+// or spin. The seeds include the adversarial k×<digit>+ construction
+// that made the seed matcher exponential.
+func FuzzMatchAgree(f *testing.F) {
+	f.Add("<digit>{2}/<digit>{2}/<digit>{4}", "03/17/2021")
+	f.Add("<num>GB", "-12.5GB")
+	f.Add("(abc)?<digit>{2}", "abc42")
+	f.Add("<digit>{2}:<digit>{2}( PM)?", "09:30 PM")
+	f.Add("<alnum>+-<alnum>{8}", "a-deadbeef")
+	f.Add("<digit>{0,3}<letter>+", "12ab")
+	f.Add("<num><num>", "1-2")
+	f.Add("<all>+", "")
+	// Pathological: adjacent unbounded digit runs against a long digit
+	// string failing at the end.
+	f.Add(strings.Repeat("<digit>{1,+}", 6), strings.Repeat("9", 200)+"!")
+	f.Fuzz(func(t *testing.T, pat, value string) {
+		if len(pat) > 256 || len(value) > 4096 {
+			return // keep per-case work bounded
+		}
+		p, err := Parse(pat)
+		if err != nil {
+			return
+		}
+		prog := Compile(p)
+		want := p.Match(value)
+		if got := prog.MatchString(value); got != want {
+			t.Fatalf("pattern %q value %q: compiled(%s)=%v, backtracker=%v",
+				p.String(), value, prog.Mode(), got, want)
+		}
+		if got := prog.Match([]byte(value)); got != want {
+			t.Fatalf("pattern %q value %q: bytes=%v, string=%v", p.String(), value, got, want)
+		}
+		nfa := compileNFA(p)
+		if got := nfa.MatchString(value); got != want {
+			t.Fatalf("pattern %q value %q: pike-VM=%v, backtracker=%v", p.String(), value, got, want)
+		}
+	})
+}

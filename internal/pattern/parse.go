@@ -110,20 +110,20 @@ func parseClass(s string) (Tok, int, error) {
 	comma := strings.IndexByte(body, ',')
 	if comma < 0 {
 		n, err := strconv.Atoi(body)
-		if err != nil {
+		if err != nil || n < 0 {
 			return Tok{}, 0, fmt.Errorf("bad quantifier {%s}", body)
 		}
 		return ClassN(class, n), i, nil
 	}
 	min, err := strconv.Atoi(body[:comma])
-	if err != nil {
+	if err != nil || min < 0 {
 		return Tok{}, 0, fmt.Errorf("bad quantifier {%s}", body)
 	}
 	if body[comma+1:] == "+" {
 		return ClassRange(class, min, Unbounded), i, nil
 	}
 	max, err := strconv.Atoi(body[comma+1:])
-	if err != nil {
+	if err != nil || max < 0 {
 		return Tok{}, 0, fmt.Errorf("bad quantifier {%s}", body)
 	}
 	return ClassRange(class, min, max), i, nil

@@ -228,6 +228,9 @@ func decode(path string, f io.Reader) (*Registry, error) {
 			if v.Rule == nil {
 				return nil, corrupt("stream %q version %d has no rule", sf.Name, v.Version)
 			}
+			// Reloaded rules serve batches immediately after startup;
+			// compile now rather than on the first checked batch.
+			v.Rule.Precompile()
 			s := Stream{
 				Name:            sf.Name,
 				Version:         v.Version,

@@ -116,6 +116,9 @@ func (r *Registry) PutDomain(name string, rule *validate.Rule, opt core.Options,
 	if rule == nil {
 		return Stream{}, fmt.Errorf("registry: nil rule for stream %q", name)
 	}
+	// Compile the rule's matching program at registration time, outside
+	// the lock: no checked batch should pay the one-off compilation cost.
+	rule.Precompile()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rec := r.streams[name]

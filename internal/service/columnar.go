@@ -1,0 +1,312 @@
+package service
+
+// Columnar request bodies. Alongside the JSON envelope, POST /validate
+// and POST /streams/{name}/check accept a raw column: `text/csv` (one
+// value per line, RFC 4180 quoting) or NDJSON (`application/x-ndjson`,
+// one JSON string per line). The body is read once into a single slab
+// and split into [][]byte views — quoted/escaped values are unescaped
+// in place, which only ever shrinks — so a million-value batch is
+// decoded without materializing a []string or copying any value, and
+// validation runs through the rule's compiled program via
+// Rule.ValidateBatch.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// columnarKind classifies a request Content-Type.
+type columnarKind int
+
+const (
+	colNone columnarKind = iota
+	colCSV
+	colNDJSON
+)
+
+func columnarKindOf(contentType string) columnarKind {
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return colNone
+	}
+	switch mt {
+	case "text/csv":
+		return colCSV
+	case "application/x-ndjson", "application/ndjson", "application/jsonlines":
+		return colNDJSON
+	default:
+		return colNone
+	}
+}
+
+// decodeColumnar reads and splits a columnar body, writing the HTTP
+// error itself on failure (mirroring decodeJSON). The returned values
+// are views into one slab that lives as long as the values do.
+func decodeColumnar(w http.ResponseWriter, r *http.Request, kind columnarKind, limit int64, header bool) ([][]byte, bool) {
+	slab, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return nil, false
+	}
+	var values [][]byte
+	switch kind {
+	case colCSV:
+		values, err = splitCSVColumn(slab)
+	default:
+		values, err = splitNDJSONColumn(slab)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	if header && len(values) > 0 {
+		values = values[1:]
+	}
+	if len(values) == 0 {
+		writeError(w, http.StatusBadRequest, "columnar body contains no values")
+		return nil, false
+	}
+	return values, true
+}
+
+// splitCSVColumn splits a single-column CSV body into one value per
+// record. Quoted values follow RFC 4180: doubled quotes escape a quote,
+// and quoted values may contain newlines. Unescaping rewrites the slab
+// in place, so every returned value is a view into it. A comma outside
+// quotes means the row has more than one field and is rejected — the
+// endpoint takes a column, not a table.
+func splitCSVColumn(slab []byte) ([][]byte, error) {
+	var values [][]byte
+	line := 1
+	i := 0
+	for i < len(slab) {
+		if slab[i] == '"' {
+			start := i + 1
+			w := start
+			j := start
+			closed := false
+			for j < len(slab) {
+				c := slab[j]
+				if c == '"' {
+					if j+1 < len(slab) && slab[j+1] == '"' {
+						slab[w] = '"'
+						w++
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				if c == '\n' {
+					line++
+				}
+				slab[w] = c
+				w++
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("csv line %d: unterminated quoted value", line)
+			}
+			values = append(values, slab[start:w])
+			// Only a record boundary may follow the closing quote.
+			if j < len(slab) && slab[j] == '\r' {
+				j++
+			}
+			switch {
+			case j >= len(slab):
+			case slab[j] == '\n':
+				j++
+				line++
+			case slab[j] == ',':
+				return nil, fmt.Errorf("csv line %d: multiple fields (the endpoint takes a single column)", line)
+			default:
+				return nil, fmt.Errorf("csv line %d: unexpected %q after closing quote", line, slab[j])
+			}
+			i = j
+			continue
+		}
+		end := i
+		for end < len(slab) && slab[end] != '\n' {
+			if slab[end] == ',' {
+				return nil, fmt.Errorf("csv line %d: multiple fields (the endpoint takes a single column)", line)
+			}
+			end++
+		}
+		v := slab[i:end]
+		if len(v) > 0 && v[len(v)-1] == '\r' {
+			v = v[:len(v)-1]
+		}
+		values = append(values, v)
+		if end < len(slab) {
+			end++ // consume '\n'
+			line++
+		}
+		i = end
+	}
+	return values, nil
+}
+
+// splitNDJSONColumn splits an NDJSON body: one value per line, each a
+// JSON string (unescaped in place) or a bare scalar token (number,
+// true/false, null — taken verbatim, covering numeric columns without a
+// quoting round-trip). Blank lines are skipped; objects and arrays are
+// rejected.
+func splitNDJSONColumn(slab []byte) ([][]byte, error) {
+	var values [][]byte
+	line := 0
+	i := 0
+	for i < len(slab) {
+		line++
+		end := i
+		for end < len(slab) && slab[end] != '\n' {
+			end++
+		}
+		lo, hi := i, end
+		i = end
+		if i < len(slab) {
+			i++ // consume '\n'
+		}
+		for lo < hi && (slab[lo] == ' ' || slab[lo] == '\t' || slab[lo] == '\r') {
+			lo++
+		}
+		for hi > lo && (slab[hi-1] == ' ' || slab[hi-1] == '\t' || slab[hi-1] == '\r') {
+			hi--
+		}
+		if lo == hi {
+			continue
+		}
+		switch slab[lo] {
+		case '"':
+			v, err := unescapeJSONString(slab, lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+			}
+			values = append(values, v)
+		case '{', '[':
+			return nil, fmt.Errorf("ndjson line %d: values must be JSON strings or scalars, not objects/arrays", line)
+		default:
+			values = append(values, slab[lo:hi])
+		}
+	}
+	return values, nil
+}
+
+// unescapeJSONString decodes the JSON string in slab[lo:hi] (including
+// its surrounding quotes) in place and returns the decoded view. JSON
+// escapes never expand — \uXXXX is six bytes for at most a three-byte
+// rune, surrogate pairs twelve for four — so writing behind the read
+// cursor is safe.
+func unescapeJSONString(slab []byte, lo, hi int) ([]byte, error) {
+	if hi-lo < 2 || slab[hi-1] != '"' {
+		return nil, errors.New("unterminated JSON string")
+	}
+	j := lo + 1
+	limit := hi - 1
+	w := j
+	start := j
+	for j < limit {
+		c := slab[j]
+		if c == '"' {
+			return nil, errors.New("unexpected data after JSON string")
+		}
+		if c != '\\' {
+			slab[w] = c
+			w++
+			j++
+			continue
+		}
+		j++
+		if j >= limit {
+			return nil, errors.New("truncated escape sequence")
+		}
+		switch slab[j] {
+		case '"', '\\', '/':
+			slab[w] = slab[j]
+			w++
+			j++
+		case 'b':
+			slab[w] = '\b'
+			w++
+			j++
+		case 'f':
+			slab[w] = '\f'
+			w++
+			j++
+		case 'n':
+			slab[w] = '\n'
+			w++
+			j++
+		case 'r':
+			slab[w] = '\r'
+			w++
+			j++
+		case 't':
+			slab[w] = '\t'
+			w++
+			j++
+		case 'u':
+			r, n, err := decodeHexRune(slab[j-1 : limit])
+			if err != nil {
+				return nil, err
+			}
+			j += n - 1
+			w += utf8.EncodeRune(slab[w:], r)
+		default:
+			return nil, fmt.Errorf("bad escape \\%c", slab[j])
+		}
+	}
+	return slab[start:w], nil
+}
+
+// decodeHexRune decodes one \uXXXX escape (b starts at the backslash),
+// combining UTF-16 surrogate pairs, and returns the rune and the number
+// of input bytes consumed.
+func decodeHexRune(b []byte) (rune, int, error) {
+	hex4 := func(b []byte) (rune, bool) {
+		var r rune
+		for _, c := range b[:4] {
+			r <<= 4
+			switch {
+			case c >= '0' && c <= '9':
+				r |= rune(c - '0')
+			case c >= 'a' && c <= 'f':
+				r |= rune(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				r |= rune(c-'A') + 10
+			default:
+				return 0, false
+			}
+		}
+		return r, true
+	}
+	if len(b) < 6 {
+		return 0, 0, errors.New("truncated \\u escape")
+	}
+	r, ok := hex4(b[2:])
+	if !ok {
+		return 0, 0, errors.New("bad \\u escape")
+	}
+	if utf16.IsSurrogate(r) {
+		if len(b) >= 12 && b[6] == '\\' && b[7] == 'u' {
+			if r2, ok := hex4(b[8:]); ok {
+				if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+					return dec, 12, nil
+				}
+			}
+		}
+		return utf8.RuneError, 6, nil
+	}
+	return r, 6, nil
+}

@@ -40,6 +40,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("autovalidate_index_patterns", "Patterns in the offline index.", float64(idx.Size()))
 	gauge("autovalidate_index_columns", "Corpus columns aggregated into the index.", float64(idx.Columns))
 	counter("autovalidate_ingests_total", "Ingest batches folded into the index.", s.ingests.Load())
+	// Compiled-vs-fallback traffic on the columnar batch endpoints: "dfa"
+	// is the single-pass table, "nfa" the step-bounded pike-VM fallback
+	// for patterns too large to determinize.
+	const engName = "autovalidate_compiled_values_total"
+	fmt.Fprintf(&sb, "# HELP %s Values validated through compiled rule programs, by engine.\n# TYPE %s counter\n", engName, engName)
+	fmt.Fprintf(&sb, "%s{engine=\"dfa\"} %d\n", engName, s.compiledDFAValues.Load())
+	fmt.Fprintf(&sb, "%s{engine=\"nfa\"} %d\n", engName, s.compiledNFAValues.Load())
 	counter("autovalidate_replicated_deltas_total", "Replicated deltas applied (followers).", s.replicatedDeltas.Load())
 	counter("autovalidate_snapshot_installs_total", "Full snapshots installed (followers).", s.snapshotInstalls.Load())
 	ready := 0.0

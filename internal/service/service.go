@@ -130,6 +130,13 @@ type Server struct {
 	ingests atomic.Uint64
 	start   time.Time
 
+	// compiledDFAValues/compiledNFAValues count values validated through
+	// compiled rule programs on the columnar batch paths, split by
+	// whether the pattern lowered to a DFA or runs on the pike-VM
+	// fallback — the /metrics view of compiled-vs-fallback traffic.
+	compiledDFAValues atomic.Uint64
+	compiledNFAValues atomic.Uint64
+
 	// Replication state: the retained delta chain (leaders), the write
 	// proxy to the leader (followers), readiness for the gateway's
 	// health checks, and counters for /metrics.
@@ -596,6 +603,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	if kind := columnarKindOf(r.Header.Get("Content-Type")); kind != colNone {
+		s.handleValidateColumnar(w, r, kind)
+		return
+	}
 	var req ValidateRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -644,6 +655,54 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Report = report
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleValidateColumnar serves POST /validate for text/csv and NDJSON
+// bodies: the body is the column itself, so the rule must be named by a
+// ?fingerprint= from a prior /infer, and validation runs through the
+// compiled batch path without materializing the values as strings.
+func (s *Server) handleValidateColumnar(w http.ResponseWriter, r *http.Request, kind columnarKind) {
+	fp := r.URL.Query().Get("fingerprint")
+	if fp == "" {
+		writeError(w, http.StatusBadRequest,
+			"columnar bodies carry only values; pass ?fingerprint= from a prior /infer to name the rule")
+		return
+	}
+	s.mu.Lock()
+	rule, ok := s.cache.get(fp)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"unknown fingerprint (evicted or never inferred); re-run /infer with the training column")
+		return
+	}
+	values, ok := decodeColumnar(w, r, kind, maxBody, r.URL.Query().Get("header") == "true")
+	if !ok {
+		return
+	}
+	rep := validate.AcquireBatchReport()
+	defer rep.Release()
+	if err := rule.ValidateBatch(values, rep); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.countCompiled(rule, len(values))
+	writeJSON(w, http.StatusOK, ValidateResponse{
+		Fingerprint: fp,
+		Cached:      true,
+		Report:      rep.Report(values),
+	})
+}
+
+// countCompiled attributes a batch's values to the engine its rule's
+// compiled program runs on, for the /metrics compiled-vs-fallback
+// counters.
+func (s *Server) countCompiled(rule *validate.Rule, n int) {
+	if rule.Program().Mode() == "dfa" {
+		s.compiledDFAValues.Add(uint64(n))
+	} else {
+		s.compiledNFAValues.Add(uint64(n))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

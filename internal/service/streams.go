@@ -271,20 +271,53 @@ type StreamCheckResponse struct {
 
 func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var req StreamCheckRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, "values are required")
-		return
+	// Batches arrive either in the JSON envelope or as a raw column
+	// (text/csv, NDJSON). The columnar path checks byte views through
+	// the compiled batch matcher; values are materialized as strings
+	// only if the monitor escalates to re-inference. Either way the body
+	// is decoded (and an empty batch rejected) before the registry
+	// lookup, so malformed requests answer 400 regardless of the name.
+	var check func(stream registry.Stream) (monitor.Decision, error)
+	var reinferValues func() []string
+	if kind := columnarKindOf(r.Header.Get("Content-Type")); kind != colNone {
+		values, ok := decodeColumnar(w, r, kind, maxBody, r.URL.Query().Get("header") == "true")
+		if !ok {
+			return
+		}
+		check = func(stream registry.Stream) (monitor.Decision, error) {
+			dec, err := s.mon.CheckBytes(stream, values)
+			if err == nil {
+				s.countCompiled(stream.Rule, len(values))
+			}
+			return dec, err
+		}
+		reinferValues = func() []string {
+			out := make([]string, len(values))
+			for i, v := range values {
+				out[i] = string(v)
+			}
+			return out
+		}
+	} else {
+		var req StreamCheckRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if len(req.Values) == 0 {
+			writeError(w, http.StatusBadRequest, "values are required")
+			return
+		}
+		check = func(stream registry.Stream) (monitor.Decision, error) {
+			return s.mon.Check(stream, req.Values)
+		}
+		reinferValues = func() []string { return req.Values }
 	}
 	stream, ok := s.registry.Get(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q (register it with PUT /streams/%s)", name, name))
 		return
 	}
-	dec, err := s.mon.Check(stream, req.Values)
+	dec, err := check(stream)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -299,10 +332,11 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 		// and re-detect the domain — the batch that changed the
 		// stream's syntax may have changed its semantics too.
 		idx := s.idx.Load()
-		rule, err := core.Infer(req.Values, idx, stream.Options)
+		train := reinferValues()
+		rule, err := core.Infer(train, idx, stream.Options)
 		if err != nil {
 			resp.ReinferError = err.Error()
-		} else if next, err := s.registry.PutDomain(name, rule, stream.Options, idx.Generation, s.detectDomain(req.Values)); err != nil {
+		} else if next, err := s.registry.PutDomain(name, rule, stream.Options, idx.Generation, s.detectDomain(train)); err != nil {
 			resp.ReinferError = err.Error()
 		} else {
 			s.recheckStale(next, idx.Generation)

@@ -1,0 +1,137 @@
+package validate
+
+// The zero-allocation batch path. Rule.Validate is the per-value
+// compatibility API: it walks []string values through the budgeted
+// backtracker and builds a fresh Report. ValidateBatch is the hot path
+// the columnar service endpoints use: values arrive as [][]byte views
+// into a decoded column slab, matching runs through the rule's compiled
+// program (DFA where the pattern lowered, pike VM otherwise), and the
+// report is a caller-provided, poolable BatchReport that records
+// non-conforming examples by index instead of copying them. Steady
+// state, the whole batch performs zero heap allocations.
+
+import (
+	"fmt"
+	"sync"
+
+	"autovalidate/internal/stats"
+)
+
+// BatchReport is the reusable outcome of validating one batch of byte
+// values. The fields mirror Report; non-conforming examples are kept as
+// batch indexes so no value bytes are copied on the hot path.
+type BatchReport struct {
+	Total         int
+	NonConforming int
+	// TrainTheta and TestTheta are θ_C(h) and θ_C'(h).
+	TrainTheta float64
+	TestTheta  float64
+	// PValue and Alarm are the §4 homogeneity-test outcome, as in
+	// Report.
+	PValue float64
+	Alarm  bool
+
+	// exampleIdx holds the batch indexes of up to maxExamples
+	// non-conforming values; the backing array is reused across Reset.
+	exampleIdx []int
+}
+
+// Reset clears the report for reuse, keeping allocated capacity.
+func (rep *BatchReport) Reset() {
+	rep.Total = 0
+	rep.NonConforming = 0
+	rep.TrainTheta = 0
+	rep.TestTheta = 0
+	rep.PValue = 0
+	rep.Alarm = false
+	rep.exampleIdx = rep.exampleIdx[:0]
+}
+
+// ExampleIndexes returns the batch indexes of the retained
+// non-conforming examples. The slice is owned by the report and only
+// valid until the next Reset/ValidateBatch.
+func (rep *BatchReport) ExampleIndexes() []int { return rep.exampleIdx }
+
+// Examples materializes the retained non-conforming values as strings —
+// the one deliberately allocating convenience, for response payloads.
+func (rep *BatchReport) Examples(values [][]byte) []string {
+	if len(rep.exampleIdx) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(rep.exampleIdx))
+	for _, i := range rep.exampleIdx {
+		if i >= 0 && i < len(values) {
+			out = append(out, string(values[i]))
+		}
+	}
+	return out
+}
+
+// Report converts the batch outcome into the classic Report form,
+// materializing example strings from the batch.
+func (rep *BatchReport) Report(values [][]byte) Report {
+	return Report{
+		Total:         rep.Total,
+		NonConforming: rep.NonConforming,
+		TrainTheta:    rep.TrainTheta,
+		TestTheta:     rep.TestTheta,
+		PValue:        rep.PValue,
+		Alarm:         rep.Alarm,
+		Examples:      rep.Examples(values),
+	}
+}
+
+// String renders a one-line summary, mirroring Report.String.
+func (rep *BatchReport) String() string {
+	verdict := "ok"
+	if rep.Alarm {
+		verdict = "ALARM"
+	}
+	return fmt.Sprintf("%s: %d/%d non-conforming (train θ=%.4f, test θ=%.4f, p=%.4g)",
+		verdict, rep.NonConforming, rep.Total, rep.TrainTheta, rep.TestTheta, rep.PValue)
+}
+
+var batchReportPool = sync.Pool{New: func() any { return new(BatchReport) }}
+
+// AcquireBatchReport returns a pooled report; pair with Release.
+func AcquireBatchReport() *BatchReport {
+	return batchReportPool.Get().(*BatchReport)
+}
+
+// Release returns the report to the pool. The report must not be used
+// afterwards.
+func (rep *BatchReport) Release() {
+	rep.Reset()
+	batchReportPool.Put(rep)
+}
+
+// ValidateBatch applies the rule to a batch of byte values, filling rep
+// in place. Matching runs through the rule's compiled program, so the
+// worst case is O(len(value)·len(pattern)) per value — never the
+// backtracker's exponential — and a steady-state call performs no heap
+// allocations. rep must be non-nil (use AcquireBatchReport for a pooled
+// one); it is reset first, so a report can be reused across batches.
+func (r *Rule) ValidateBatch(values [][]byte, rep *BatchReport) error {
+	if rep == nil {
+		return fmt.Errorf("validate: nil batch report")
+	}
+	rep.Reset()
+	if len(values) == 0 {
+		return ErrEmptyBatch
+	}
+	nc, idx := r.Program().CountMisses(values, rep.exampleIdx, maxExamples)
+	rep.exampleIdx = idx
+	rep.Total = len(values)
+	rep.NonConforming = nc
+	rep.TrainTheta = r.TrainTheta()
+	rep.TestTheta = float64(nc) / float64(rep.Total)
+	p, err := stats.HomogeneityPValue(r.Test, r.TrainNonConforming, r.TrainTotal, nc, rep.Total)
+	if err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	rep.PValue = p
+	// Alarm only on a significant *increase* in non-conforming fraction,
+	// as in Validate.
+	rep.Alarm = p < r.Alpha && rep.TestTheta > rep.TrainTheta
+	return nil
+}

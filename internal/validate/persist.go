@@ -61,16 +61,18 @@ func (r *Rule) UnmarshalJSON(data []byte) error {
 	if in.Test == stats.ChiSquared.String() {
 		test = stats.ChiSquared
 	}
-	*r = Rule{
-		Pattern:            pat,
-		EstimatedFPR:       in.EstimatedFPR,
-		TrainNonConforming: in.TrainNonConforming,
-		TrainTotal:         in.TrainTotal,
-		Test:               test,
-		Alpha:              in.Alpha,
-		Strategy:           in.Strategy,
-		Segments:           segs,
-	}
+	// Field-by-field rather than a struct literal: the Rule carries a
+	// cached compiled program behind an atomic pointer, which must be
+	// reset (not copied) when the rule's pattern is replaced.
+	r.Pattern = pat
+	r.EstimatedFPR = in.EstimatedFPR
+	r.TrainNonConforming = in.TrainNonConforming
+	r.TrainTotal = in.TrainTotal
+	r.Test = test
+	r.Alpha = in.Alpha
+	r.Strategy = in.Strategy
+	r.Segments = segs
+	r.prog.Store(nil)
 	return nil
 }
 

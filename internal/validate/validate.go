@@ -7,6 +7,9 @@ package validate
 import (
 	"errors"
 	"fmt"
+	"log"
+	"sort"
+	"sync/atomic"
 
 	"autovalidate/internal/pattern"
 	"autovalidate/internal/stats"
@@ -35,7 +38,32 @@ type Rule struct {
 	// Segments, for vertically cut rules, holds the per-segment
 	// patterns whose concatenation is Pattern.
 	Segments []pattern.Pattern
+
+	// prog caches the compiled matching program for Pattern. It is
+	// populated lazily by Program (or eagerly by Precompile at
+	// registration/load time) and is deliberately excluded from the
+	// JSON form: programs are derived state, rebuilt after a reload.
+	prog atomic.Pointer[pattern.Program]
 }
+
+// Program returns the rule's compiled matching program, compiling it on
+// first use. The program is immutable and safe for concurrent use; the
+// serving layer calls Precompile at registration time so no request
+// pays the (one-off, microseconds) compilation cost.
+func (r *Rule) Program() *pattern.Program {
+	if p := r.prog.Load(); p != nil {
+		return p
+	}
+	p := pattern.Compile(r.Pattern)
+	if r.prog.CompareAndSwap(nil, p) {
+		return p
+	}
+	return r.prog.Load()
+}
+
+// Precompile forces compilation of the rule's matching program, moving
+// the cost from the first validated batch to registration time.
+func (r *Rule) Precompile() { r.Program() }
 
 // TrainTheta returns θ_C(h), the training-time non-conforming fraction.
 func (r *Rule) TrainTheta() float64 {
@@ -106,10 +134,18 @@ func (r *Rule) Validate(values []string) (Report, error) {
 
 // Flags reports whether the rule would alarm on the batch, squashing the
 // error for empty batches to false (nothing arrived, nothing to flag).
+// Any other failure — e.g. a rule whose training statistics form an
+// invalid contingency table — cannot be interpreted as "no alarm": it is
+// logged and reported as a flag, so a stats failure never silently
+// clears a batch.
 func (r *Rule) Flags(values []string) bool {
 	rep, err := r.Validate(values)
 	if err != nil {
-		return false
+		if errors.Is(err, ErrEmptyBatch) {
+			return false
+		}
+		log.Printf("validate: Flags: %v", err)
+		return true
 	}
 	return rep.Alarm
 }
@@ -144,16 +180,13 @@ func (rs *RuleSet) ValidateColumns(cols map[string][]string) []ColumnReport {
 		rep, err := r.Validate(vals)
 		out = append(out, ColumnReport{Column: name, Report: rep, Err: err})
 	}
-	// Alarms first, then by column name for stable output.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0; j-- {
-			a, b := out[j-1], out[j]
-			if (b.Report.Alarm && !a.Report.Alarm) || (b.Report.Alarm == a.Report.Alarm && b.Column < a.Column) {
-				out[j-1], out[j] = b, a
-			} else {
-				break
-			}
+	// Alarms first, then by column name, so the output is deterministic
+	// regardless of map-iteration order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Report.Alarm != out[j].Report.Alarm {
+			return out[i].Report.Alarm
 		}
-	}
+		return out[i].Column < out[j].Column
+	})
 	return out
 }
