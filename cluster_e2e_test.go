@@ -45,19 +45,26 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 
 	// startProc launches a server process and extracts its listen
-	// address from the "listening on" line.
-	startProc := func(name string, args ...string) (addr string) {
+	// address from the "listening on" line. stderr (the structured JSON
+	// log stream) is captured to <logName>.stderr.log so assertions can
+	// grep for trace IDs and failures can ship the logs as artifacts.
+	stderrLog := func(logName string) string { return filepath.Join(dir, logName+".stderr.log") }
+	startProc := func(logName, name string, args ...string) (addr string) {
 		t.Helper()
 		cmd := exec.Command(bin(name), args...)
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
 			t.Fatal(err)
 		}
-		cmd.Stderr = os.Stderr
+		errFile, err := os.Create(stderrLog(logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = errFile
 		if err := cmd.Start(); err != nil {
 			t.Fatalf("starting %s: %v", name, err)
 		}
-		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait(); errFile.Close() })
 		sc := bufio.NewScanner(stdout)
 		deadline := time.After(30 * time.Second)
 		lineCh := make(chan string, 16)
@@ -88,12 +95,42 @@ func TestClusterEndToEnd(t *testing.T) {
 		}
 	}
 
-	leaderAddr := startProc("avserve", "-index", idx, "-leader", "-m", "5", "-addr", "127.0.0.1:0")
+	leaderAddr := startProc("leader", "avserve", "-index", idx, "-leader", "-m", "5",
+		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
 	leaderURL := "http://" + leaderAddr
-	followerAddr := startProc("avserve", "-follow", leaderURL, "-m", "5", "-poll", "200ms", "-addr", "127.0.0.1:0")
+	followerAddr := startProc("follower", "avserve", "-follow", leaderURL, "-m", "5", "-poll", "200ms",
+		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
 	followerURL := "http://" + followerAddr
-	gatewayAddr := startProc("avgateway", "-members", leaderURL+","+followerURL, "-check", "100ms", "-addr", "127.0.0.1:0")
+	gatewayAddr := startProc("gateway", "avgateway", "-members", leaderURL+","+followerURL, "-check", "100ms",
+		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
 	gatewayURL := "http://" + gatewayAddr
+
+	// On failure, snapshot each process's /debug/traces ring and logs
+	// into $CLUSTER_E2E_ARTIFACTS (CI uploads the directory) so a flaky
+	// run leaves its whole trace history behind.
+	if artDir := os.Getenv("CLUSTER_E2E_ARTIFACTS"); artDir != "" {
+		t.Cleanup(func() {
+			if !t.Failed() {
+				return
+			}
+			if err := os.MkdirAll(artDir, 0o755); err != nil {
+				t.Logf("artifacts: %v", err)
+				return
+			}
+			for name, base := range map[string]string{
+				"leader": leaderURL, "follower": followerURL, "gateway": gatewayURL,
+			} {
+				if resp, err := http.Get(base + "/debug/traces"); err == nil {
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					os.WriteFile(filepath.Join(artDir, name+".traces.json"), body, 0o644)
+				}
+				if logs, err := os.ReadFile(stderrLog(name)); err == nil {
+					os.WriteFile(filepath.Join(artDir, name+".stderr.log"), logs, 0o644)
+				}
+			}
+		})
+	}
 
 	waitReady := func(base string) {
 		t.Helper()
@@ -184,15 +221,103 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Fatalf("gateway stream put = %d (%v)", code, out)
 	}
 	checkDeadline := time.Now().Add(5 * time.Second) // poll is 200ms
+	var checkHeader http.Header
 	for {
-		code, out := postJSON(http.MethodPost, gatewayURL+"/streams/feed/check", map[string]any{"values": train})
+		code, out, hdr := postJSONHdr(t, http.MethodPost, gatewayURL+"/streams/feed/check", map[string]any{"values": train})
 		if code == http.StatusOK {
+			checkHeader = hdr
 			break
 		}
 		if code != http.StatusNotFound || time.Now().After(checkDeadline) {
 			t.Fatalf("gateway stream check = %d (%v)", code, out)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+
+	// One checked batch is one trace: the gateway minted the trace ID
+	// (stamped on the response), and the gateway proxy span, the
+	// member's route-handler span, and the monitor-check span all hang
+	// off it. Spans land in the ring just after the response is written,
+	// so poll briefly.
+	traceID := checkHeader.Get("X-Trace-Id")
+	if len(traceID) != 32 {
+		t.Fatalf("gateway response X-Trace-Id = %q, want a 32-hex trace ID", traceID)
+	}
+	memberURL := checkHeader.Get("X-Autovalidate-Member")
+	if memberURL == "" {
+		t.Fatal("gateway response missing X-Autovalidate-Member")
+	}
+	spanNames := func(base string) map[string]int {
+		t.Helper()
+		resp, err := http.Get(base + "/debug/traces?trace=" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dump struct {
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+			t.Fatal(err)
+		}
+		names := map[string]int{}
+		for _, s := range dump.Spans {
+			names[s.Name]++
+		}
+		return names
+	}
+	traceDeadline := time.Now().Add(5 * time.Second)
+	for {
+		gw := spanNames(gatewayURL)
+		member := spanNames(memberURL)
+		total := gw["gateway.proxy"] + member["POST /streams/{name}/check"] + member["monitor.check"]
+		if gw["gateway.proxy"] >= 1 && member["POST /streams/{name}/check"] >= 1 &&
+			member["monitor.check"] >= 1 && total >= 3 {
+			break
+		}
+		if time.Now().After(traceDeadline) {
+			t.Fatalf("trace %s incomplete: gateway spans %v, member spans %v", traceID, gw, member)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The same trace ID appears in the gateway's structured log line.
+	waitLogContains := func(logName, needle string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			data, _ := os.ReadFile(stderrLog(logName))
+			if strings.Contains(string(data), needle) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s stderr log never mentioned %q", logName, needle)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitLogContains("gateway", traceID)
+
+	// Drive /validate through the gateway until the follower answers
+	// one, then assert the gateway-originated trace ID shows up in the
+	// follower's structured logs — cross-process correlation, the point
+	// of propagating traceparent.
+	followerTraceDeadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _, hdr := postJSONHdr(t, http.MethodPost, gatewayURL+"/validate", map[string]any{
+			"train": train, "values": train,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("gateway validate while hunting the follower = %d", code)
+		}
+		if hdr.Get("X-Autovalidate-Member") == followerURL {
+			waitLogContains("follower", hdr.Get("X-Trace-Id"))
+			break
+		}
+		if time.Now().After(followerTraceDeadline) {
+			t.Fatal("round-robin never routed a /validate to the follower")
+		}
 	}
 
 	// Ingest a second lake file on the leader and watch the follower
@@ -259,6 +384,31 @@ func TestClusterEndToEnd(t *testing.T) {
 			t.Fatalf("member %s unhealthy at end of test", m.URL)
 		}
 	}
+}
+
+// postJSONHdr sends a JSON request and returns status, decoded body,
+// and the response headers (for X-Trace-Id / X-Autovalidate-Member
+// correlation assertions).
+func postJSONHdr(t *testing.T, method, u string, body any) (int, map[string]any, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, u, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, u, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	out := map[string]any{}
+	json.Unmarshal(raw, &out)
+	return resp.StatusCode, out, resp.Header
 }
 
 // csvColumn reads column i of a CSV file (skipping the header row).

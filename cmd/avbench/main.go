@@ -6,6 +6,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write a BENCH_<exp>.json record per experiment")
 	outdir := flag.String("outdir", ".", "directory for -json records")
 	baseline := flag.String("baseline", "", "committed BENCH record to gate against: exit 1 if values_per_sec regresses below 70% of it")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avbench", buildinfo.Get())
+		return
+	}
 
 	cfg := evalbench.DefaultConfig()
 	if *scale == "quick" {

@@ -42,7 +42,22 @@ func main() {
 	addr := flag.String("addr", ":8070", "listen address (port 0 picks a free port)")
 	check := flag.Duration("check", time.Second, "member /readyz health-check interval")
 	maxBody := flag.Int64("max-body", 64<<20, "request-body cap in bytes (bodies are buffered for retry)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this loopback address (empty = off)")
+	traceSample := flag.Int("trace-sample", 1, "record 1 in N root traces (0 disables tracing)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("avgateway", autovalidate.GetBuildInfo())
+		return
+	}
+
+	logger := autovalidate.NewLogger(os.Stderr, "avgateway")
+	sample := *traceSample
+	if sample <= 0 {
+		sample = -1
+	}
+	tracer := autovalidate.NewTracer(autovalidate.TracerConfig{SampleEvery: sample})
 
 	if *members == "" {
 		fatal(fmt.Errorf("-members is required"))
@@ -64,18 +79,37 @@ func main() {
 		Members:       urls,
 		CheckInterval: *check,
 		MaxBody:       *maxBody,
+		Logger:        logger,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		// Distinct phrasing: the e2e harness treats the first
+		// "listening on" stdout line as the serving address.
+		fmt.Printf("avgateway: debug server on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, autovalidate.NewDebugMux(tracer)); err != nil {
+				logger.Error("debug server failed", "error", err.Error())
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
+	// The serving-address handshake stays on stdout — tests and scripts
+	// parse this exact line to learn the bound port.
 	fmt.Printf("avgateway: routing %d member(s), listening on %s\n", len(urls), ln.Addr())
 	for _, u := range urls {
-		fmt.Printf("avgateway: member %s\n", u)
+		logger.Info("member configured", "member", u.String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,7 +126,7 @@ func main() {
 		if err := server.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
 		}
-		fmt.Println("avgateway: shut down")
+		logger.Info("shut down")
 	case err := <-done:
 		if err != nil && err != http.ErrServerClosed {
 			fatal(err)

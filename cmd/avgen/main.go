@@ -7,6 +7,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,12 @@ func main() {
 	tables := flag.Int("tables", 150, "number of data files to generate")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "lake", "output directory")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avgen", buildinfo.Get())
+		return
+	}
 
 	var p datagen.Profile
 	switch *profile {

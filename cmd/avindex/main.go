@@ -15,6 +15,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,12 @@ func main() {
 	tau := flag.Int("tau", 8, "token-count cap τ for indexed patterns (full build only)")
 	workers := flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print progress")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avindex", buildinfo.Get())
+		return
+	}
 
 	opt := autovalidate.DefaultBuildOptions()
 	opt.Enum.MaxTokens = *tau

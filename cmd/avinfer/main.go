@@ -10,6 +10,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"bufio"
 	"flag"
 	"fmt"
@@ -27,7 +28,12 @@ func main() {
 	r := flag.Float64("r", 0.1, "FPR target r")
 	m := flag.Int("m", 100, "coverage target m")
 	theta := flag.Float64("theta", 0.1, "non-conforming tolerance θ")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avinfer", buildinfo.Get())
+		return
+	}
 
 	idx, err := autovalidate.LoadIndex(*idxPath)
 	if err != nil {

@@ -1,8 +1,9 @@
-// Command avlint runs the project's custom static-analysis suite: five
+// Command avlint runs the project's custom static-analysis suite: six
 // analyzers that enforce the correctness invariants the validation
 // cluster's design rests on (copy-on-write swap discipline, error-not-
-// panic decode paths, %w error chains, checked write-path closes, and
-// bounded request bodies). See internal/lint/checkers for the suite
+// panic decode paths, %w error chains, checked write-path closes,
+// bounded request bodies, and structured serving-path logging). See
+// internal/lint/checkers for the suite
 // and README.md "Static analysis" for the invariant each one guards.
 //
 // Two modes share the same analyzers:
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -39,7 +41,12 @@ func main() {
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (vet-tool protocol)")
 	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	flag.Usage = usage
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avlint", buildinfo.Get())
+		return
+	}
 
 	switch {
 	case *versionFlag != "":

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,7 +55,12 @@ func main() {
 				"             2 usage error; 3 operational failure\n\nflags:\n")
 		flag.PrintDefaults()
 	}
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avmonitor", buildinfo.Get())
+		return
+	}
 
 	args := flag.Args()
 	if len(args) < 2 {

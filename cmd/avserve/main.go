@@ -84,7 +84,22 @@ func main() {
 	retain := flag.Int("retain", 64, "delta-chain retention for -leader (followers further behind re-snapshot)")
 	follow := flag.String("follow", "", "leader base URL; run as a read replica (bootstraps from its snapshot, polls deltas, proxies writes)")
 	poll := flag.Duration("poll", 2*time.Second, "delta-poll interval for -follow (bounds follower staleness)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this loopback address (empty = off)")
+	traceSample := flag.Int("trace-sample", 1, "record 1 in N root traces (0 disables tracing; propagated sampled traces are always recorded)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("avserve", autovalidate.GetBuildInfo())
+		return
+	}
+
+	logger := autovalidate.NewLogger(os.Stderr, "avserve")
+	sample := *traceSample
+	if sample <= 0 {
+		sample = -1
+	}
+	tracer := autovalidate.NewTracer(autovalidate.TracerConfig{SampleEvery: sample})
 
 	switch {
 	case *leader && *follow != "":
@@ -113,6 +128,8 @@ func main() {
 	cfg := autovalidate.ServiceConfig{
 		CacheSize: *cacheSize,
 		ReadOnly:  *readonly,
+		Logger:    logger,
+		Tracer:    tracer,
 	}
 
 	var follower *autovalidate.ClusterFollower
@@ -134,7 +151,7 @@ func main() {
 		cfg.WriteProxy = leaderURL
 		// No DeltaLog: avserve followers never serve /replication, so a
 		// retained chain here would be write-only memory.
-		fmt.Printf("avserve: following %s (poll %s)\n", leaderURL, *poll)
+		logger.Info("following leader", "leader", leaderURL.String(), "poll", poll.String())
 	} else {
 		start := time.Now()
 		idx, err := autovalidate.LoadIndex(*idxPath)
@@ -144,7 +161,7 @@ func main() {
 		if *shards > 0 {
 			idx.Reshard(*shards)
 		}
-		fmt.Printf("avserve: loaded %s in %s\n", idx, time.Since(start).Round(time.Millisecond))
+		logger.Info("index loaded", "index", idx.String(), "took", time.Since(start).Round(time.Millisecond).String())
 		opt.Tau = idx.Enum.MaxTokens
 		cfg.Index = idx
 		cfg.Options = &opt
@@ -153,10 +170,10 @@ func main() {
 			reg, err := autovalidate.LoadStreamRegistry(*regPath)
 			switch {
 			case err == nil:
-				fmt.Printf("avserve: loaded %d stream(s) from %s\n", reg.Len(), *regPath)
+				logger.Info("registry loaded", "streams", reg.Len(), "path", *regPath)
 			case errors.Is(err, fs.ErrNotExist):
 				reg = autovalidate.NewStreamRegistry()
-				fmt.Printf("avserve: starting fresh registry at %s\n", *regPath)
+				logger.Info("starting fresh registry", "path", *regPath)
 			default:
 				fatal(err)
 			}
@@ -180,23 +197,41 @@ func main() {
 			fatal(err)
 		}
 		handler = l.Handler()
-		fmt.Printf("avserve: replication leader (retaining %d deltas)\n", *retain)
+		logger.Info("replication leader", "retain", *retain)
 	}
 	if *follow != "" {
 		follower, err = autovalidate.NewClusterFollower(autovalidate.ClusterFollowerConfig{
 			Leader:       leaderURL,
 			Service:      svc,
 			PollInterval: *poll,
+			Logger:       logger,
 		})
 		if err != nil {
 			fatal(err)
 		}
 	}
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		// Distinct phrasing: the e2e harness treats the first
+		// "listening on" stdout line as the serving address.
+		fmt.Printf("avserve: debug server on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, autovalidate.NewDebugMux(tracer)); err != nil {
+				logger.Error("debug server failed", "error", err.Error())
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
+	// The serving-address handshake stays on stdout — tests and scripts
+	// parse this exact line to learn the bound port.
 	fmt.Printf("avserve: listening on %s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -215,7 +250,7 @@ func main() {
 		if err := server.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
 		}
-		fmt.Println("avserve: shut down")
+		logger.Info("shut down")
 	case err := <-done:
 		if err != nil && err != http.ErrServerClosed {
 			fatal(err)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"autovalidate/internal/buildinfo"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,12 @@ func main() {
 				"             2 usage error; 3 operational failure\n\nflags:\n")
 		flag.PrintDefaults()
 	}
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("avvalidate", buildinfo.Get())
+		return
+	}
 
 	if *trainPath == "" || *testPath == "" {
 		fmt.Fprintln(os.Stderr, "avvalidate: -train and -test are required")

@@ -1,0 +1,34 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Version == "" || info.GoVersion == "" {
+		t.Fatalf("incomplete info: %+v", info)
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Fatalf("odd toolchain %q", info.GoVersion)
+	}
+	s := info.String()
+	if !strings.Contains(s, info.Version) || !strings.Contains(s, info.GoVersion) {
+		t.Fatalf("String() dropped fields: %q", s)
+	}
+}
+
+func TestShortRevision(t *testing.T) {
+	if got := (Info{}).ShortRevision(); got != "unknown" {
+		t.Fatalf("empty revision: %q", got)
+	}
+	long := Info{Revision: "0123456789abcdef0123"}
+	if got := long.ShortRevision(); got != "0123456789ab" {
+		t.Fatalf("long revision: %q", got)
+	}
+	short := Info{Revision: "abc"}
+	if got := short.ShortRevision(); got != "abc" {
+		t.Fatalf("short revision: %q", got)
+	}
+}

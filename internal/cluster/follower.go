@@ -6,6 +6,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"autovalidate/internal/index"
+	"autovalidate/internal/obs"
 	"autovalidate/internal/registry"
 	"autovalidate/internal/service"
 )
@@ -36,6 +38,8 @@ type FollowerConfig struct {
 	// MaxFetchBytes bounds any single replication artifact section
 	// (0 = 1 GiB).
 	MaxFetchBytes int64
+	// Logger receives catch-up progress and failures (nil = discard).
+	Logger *slog.Logger
 }
 
 // FollowerStatus is a snapshot of the loop's progress.
@@ -66,6 +70,7 @@ type Follower struct {
 	client   *http.Client
 	interval time.Duration
 	maxFetch int64
+	log      *slog.Logger
 
 	mu            sync.Mutex
 	bootstrapped  bool
@@ -96,12 +101,17 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	if maxFetch <= 0 {
 		maxFetch = 1 << 30
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	return &Follower{
 		svc:      cfg.Service,
 		leader:   cfg.Leader,
 		client:   client,
 		interval: interval,
 		maxFetch: maxFetch,
+		log:      log,
 	}, nil
 }
 
@@ -135,6 +145,9 @@ func (f *Follower) Run(ctx context.Context) {
 			f.lastErr = ""
 		}
 		f.mu.Unlock()
+		if err != nil && ctx.Err() == nil {
+			f.log.Warn("catch-up round failed", slog.String("error", err.Error()))
+		}
 		select {
 		case <-ctx.Done():
 			return
@@ -182,6 +195,10 @@ func (f *Follower) CatchUp(ctx context.Context) error {
 	if head.Count < 0 || head.Count > 1<<20 {
 		return fmt.Errorf("cluster: implausible delta count %d", head.Count)
 	}
+	// Record how far ahead the leader is before applying, so the
+	// generations-behind gauge reflects lag even while a long chain is
+	// still streaming in.
+	f.svc.ObserveLeaderGeneration(head.LeaderGeneration)
 	applied := 0
 	for i := 0; i < head.Count; i++ {
 		payload, err := readSection(r, f.maxFetch)
@@ -232,6 +249,9 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 	f.registryEpoch = epoch
 	f.snapshots++
 	f.mu.Unlock()
+	f.log.Info("snapshot installed",
+		slog.Uint64("generation", f.svc.Generation()),
+		slog.Uint64("registry_epoch", epoch))
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
@@ -16,6 +17,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"autovalidate/internal/buildinfo"
+	"autovalidate/internal/obs"
 )
 
 // GatewayConfig configures a cluster gateway.
@@ -35,12 +39,36 @@ type GatewayConfig struct {
 	// (0 = 64). More vnodes smooth the stream distribution; fewer
 	// shrink the ring.
 	VirtualNodes int
+	// Logger receives structured proxy and health-transition logs; nil
+	// discards.
+	Logger *slog.Logger
+	// Tracer originates a trace per proxied request (W3C traceparent on
+	// the outgoing hop) and records gateway spans for /debug/traces;
+	// nil disables span recording but requests still get trace IDs.
+	Tracer *obs.Tracer
 }
 
-// member is one routable replica with its health state.
+// member is one routable replica with its health state and per-member
+// routing counters (exposed on /gateway/metrics).
 type member struct {
 	url     *url.URL
 	healthy atomic.Bool
+	// proxied counts requests this member answered; failovers counts
+	// forward attempts that failed here and moved on to the next
+	// candidate; transitions counts health flips in either direction.
+	proxied     atomic.Uint64
+	failovers   atomic.Uint64
+	transitions atomic.Uint64
+}
+
+// setHealthy updates the health flag, reporting (and counting) a state
+// transition.
+func (m *member) setHealthy(ok bool) (changed bool) {
+	if m.healthy.Swap(ok) != ok {
+		m.transitions.Add(1)
+		return true
+	}
+	return false
 }
 
 // ringPoint is one virtual node on the consistent-hash ring.
@@ -63,6 +91,16 @@ type Gateway struct {
 	client   *http.Client
 	interval time.Duration
 	maxBody  int64
+
+	log    *slog.Logger
+	tracer *obs.Tracer
+	start  time.Time
+
+	// unroutable counts requests that exhausted every candidate.
+	unroutable atomic.Uint64
+	// proxyLatency times the whole proxy operation (candidate walk
+	// included), the gateway half of the hop-by-hop latency story.
+	proxyLatency *obs.Histogram
 }
 
 // NewGateway builds a gateway over the member list. Members start
@@ -88,7 +126,19 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if vnodes <= 0 {
 		vnodes = 64
 	}
-	g := &Gateway{client: client, interval: interval, maxBody: maxBody}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	g := &Gateway{
+		client:       client,
+		interval:     interval,
+		maxBody:      maxBody,
+		log:          log,
+		tracer:       cfg.Tracer,
+		start:        time.Now(),
+		proxyLatency: obs.NewHistogram(nil),
+	}
 	for _, u := range cfg.Members {
 		if u == nil {
 			return nil, fmt.Errorf("cluster: nil member URL")
@@ -167,16 +217,73 @@ func streamKey(path string) (string, bool) {
 }
 
 // Handler returns the gateway's routes: /gateway/members for topology
-// introspection, everything else proxied to the cluster.
+// introspection, /gateway/metrics for the routing counters,
+// /debug/traces for recorded gateway spans, everything else proxied to
+// the cluster.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /gateway/members", g.handleMembers)
+	mux.HandleFunc("GET /gateway/metrics", g.handleMetrics)
 	mux.HandleFunc("GET /gateway/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","members":%d}`, len(g.members))
 	})
+	mux.HandleFunc("GET /debug/traces", g.tracer.ServeTraces)
 	mux.HandleFunc("/", g.proxy)
 	return mux
+}
+
+// Tracer returns the gateway's span recorder (nil when tracing is
+// disabled) — cmd/avgateway mounts its /debug/traces on -debug-addr.
+func (g *Gateway) Tracer() *obs.Tracer { return g.tracer }
+
+// handleMetrics is the gateway's Prometheus exposition: per-member
+// routing counters and health, ring shape, and proxy latency — built
+// on the same obs.MetricWriter as the service's /metrics so both pass
+// the same parser lint.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var mw obs.MetricWriter
+
+	bi := buildinfo.Get()
+	const biName = "autovalidate_build_info"
+	mw.Family(biName, "Build identity of the running binary (value is always 1).", "gauge")
+	mw.Int(biName, obs.Label("version", bi.Version)+","+obs.Label("revision", bi.ShortRevision())+","+obs.Label("goversion", bi.GoVersion), 1)
+
+	mw.Gauge("autovalidate_gateway_members", "Configured cluster members.", float64(len(g.members)))
+	mw.Gauge("autovalidate_gateway_ring_points", "Virtual nodes on the consistent-hash ring.", float64(len(g.ring)))
+	mw.Gauge("autovalidate_gateway_uptime_seconds", "Seconds since the gateway started.", time.Since(g.start).Seconds())
+	mw.Counter("autovalidate_gateway_unroutable_total", "Requests that exhausted every member candidate.", g.unroutable.Load())
+
+	const healthyName = "autovalidate_gateway_member_healthy"
+	mw.Family(healthyName, "Member health as seen by the gateway (1 routable, 0 failed).", "gauge")
+	for _, m := range g.members {
+		var v uint64
+		if m.healthy.Load() {
+			v = 1
+		}
+		mw.Int(healthyName, obs.Label("member", m.url.String()), v)
+	}
+	const proxiedName = "autovalidate_gateway_proxied_requests_total"
+	mw.Family(proxiedName, "Requests answered, by member.", "counter")
+	for _, m := range g.members {
+		mw.Int(proxiedName, obs.Label("member", m.url.String()), m.proxied.Load())
+	}
+	const failName = "autovalidate_gateway_failovers_total"
+	mw.Family(failName, "Forward attempts that failed on a member and moved to the next candidate.", "counter")
+	for _, m := range g.members {
+		mw.Int(failName, obs.Label("member", m.url.String()), m.failovers.Load())
+	}
+	const transName = "autovalidate_gateway_health_transitions_total"
+	mw.Family(transName, "Member health-state flips (either direction).", "counter")
+	for _, m := range g.members {
+		mw.Int(transName, obs.Label("member", m.url.String()), m.transitions.Load())
+	}
+
+	const durName = "autovalidate_gateway_proxy_duration_seconds"
+	mw.Family(durName, "Whole-proxy latency including failover walks.", "histogram")
+	mw.Histogram(durName, "", g.proxyLatency)
+
+	mw.WriteResponse(w)
 }
 
 // MemberInfo is one member's routing state.
@@ -205,9 +312,36 @@ func (g *Gateway) handleMembers(w http.ResponseWriter, r *http.Request) {
 // resend them; responses are buffered so a mid-body death retries
 // cleanly instead of leaving the client a truncated reply.
 func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
+	// The gateway is where a request's trace identity is born (or
+	// continued, if the client sent its own traceparent): the identity
+	// rides the traceparent header on every forward attempt, so the
+	// member's server span — and a follower's write-proxy hop to the
+	// leader — all join one trace.
+	start := time.Now()
+	sp, sc := g.tracer.StartServerSpan(r, "gateway.proxy")
+	sp.SetRoute("proxy")
+	w.Header().Set(obs.TraceIDHeader, sc.TraceID.String())
+	log := g.log.With(
+		slog.String("trace_id", sc.TraceID.String()),
+		slog.String("span_id", sc.SpanID.String()),
+		slog.String("path", r.URL.Path),
+	)
+	r = r.WithContext(obs.ContextWithSpanContext(r.Context(), &sc))
+	status := http.StatusBadGateway
+	defer func() {
+		g.proxyLatency.Observe(time.Since(start))
+		sp.SetStatus(status)
+		sp.End()
+		log.LogAttrs(r.Context(), slog.LevelInfo, "proxied",
+			slog.String("method", r.Method),
+			slog.Int("status", status),
+			slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)))
+	}()
+
 	var order []int
 	if key, ok := streamKey(r.URL.Path); ok {
 		order = g.sequence(key)
+		sp.SetStream(key)
 	} else {
 		order = g.rrSequence()
 	}
@@ -219,11 +353,12 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-					http.StatusRequestEntityTooLarge)
+				status = http.StatusRequestEntityTooLarge
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), status)
 				return
 			}
-			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			status = http.StatusBadRequest
+			http.Error(w, "reading request body: "+err.Error(), status)
 			return
 		}
 	}
@@ -245,10 +380,14 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	var lastErr error
 	for _, mi := range candidates {
 		m := g.members[mi]
-		status, header, respBody, sent, err := g.forward(r, m, body)
+		code, header, respBody, sent, err := g.forward(r, m, body)
 		if err != nil {
-			m.healthy.Store(false)
+			if m.setHealthy(false) {
+				log.Warn("member marked unhealthy", slog.String("member", m.url.String()), slog.String("error", err.Error()))
+			}
+			m.failovers.Add(1)
 			lastErr = err
+			sp.SetError(err)
 			// Retrying is only safe when the request provably never
 			// reached the member (dial failure) or when re-executing it
 			// cannot duplicate durable state. A POST /ingest whose
@@ -256,25 +395,36 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 			// it to another member would proxy it back to the leader and
 			// double-count the batch.
 			if sent && !retrySafe(r) {
+				status = http.StatusBadGateway
 				http.Error(w, fmt.Sprintf(
 					"member %s failed after the request was sent (%v); not retrying a non-idempotent write — verify state before resending",
-					m.url, err), http.StatusBadGateway)
+					m.url, err), status)
 				return
 			}
 			continue
 		}
-		m.healthy.Store(true)
+		if m.setHealthy(true) {
+			log.Info("member recovered", slog.String("member", m.url.String()))
+		}
+		m.proxied.Add(1)
+		sp.SetMember(m.url.String())
 		for k, vs := range header {
 			for _, v := range vs {
 				w.Header().Add(k, v)
 			}
 		}
+		// The gateway's trace identity wins over the member's echo: the
+		// client correlates against the root of the trace.
+		w.Header().Set(obs.TraceIDHeader, sc.TraceID.String())
 		w.Header().Set("X-Autovalidate-Member", m.url.String())
-		w.WriteHeader(status)
+		status = code
+		w.WriteHeader(code)
 		w.Write(respBody)
 		return
 	}
-	http.Error(w, fmt.Sprintf("no cluster member reachable: %v", lastErr), http.StatusBadGateway)
+	g.unroutable.Add(1)
+	status = http.StatusBadGateway
+	http.Error(w, fmt.Sprintf("no cluster member reachable: %v", lastErr), status)
 }
 
 // forward sends the buffered request to one member and buffers the full
@@ -291,6 +441,11 @@ func (g *Gateway) forward(r *http.Request, m *member, body []byte) (int, http.He
 		return 0, nil, nil, false, err
 	}
 	req.Header = r.Header.Clone()
+	// Propagate this hop's trace identity (replacing any client-sent
+	// traceparent — the gateway's span is the member's parent now).
+	if sc := obs.SpanContextFrom(r.Context()); sc != nil {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		var opErr *net.OpError
@@ -343,17 +498,30 @@ func (g *Gateway) CheckOnce(ctx context.Context) {
 		u.Path = singleJoin(u.Path, "/readyz")
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 		if err != nil {
-			m.healthy.Store(false)
+			g.noteHealth(m, false, err.Error())
 			continue
 		}
 		resp, err := checkClient.Do(req)
 		if err != nil {
-			m.healthy.Store(false)
+			g.noteHealth(m, false, err.Error())
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		m.healthy.Store(resp.StatusCode == http.StatusOK)
+		g.noteHealth(m, resp.StatusCode == http.StatusOK, resp.Status)
+	}
+}
+
+// noteHealth records a probe result, logging only actual transitions so
+// a steady cluster stays quiet.
+func (g *Gateway) noteHealth(m *member, ok bool, detail string) {
+	if !m.setHealthy(ok) {
+		return
+	}
+	if ok {
+		g.log.Info("member healthy", slog.String("member", m.url.String()))
+	} else {
+		g.log.Warn("member unhealthy", slog.String("member", m.url.String()), slog.String("detail", detail))
 	}
 }
 

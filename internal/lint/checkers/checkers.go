@@ -1,4 +1,4 @@
-// Package checkers holds avlint's five project-specific analyzers.
+// Package checkers holds avlint's six project-specific analyzers.
 // Each one mechanizes a correctness invariant the cluster's design
 // depends on but that nothing else enforces:
 //
@@ -14,6 +14,9 @@
 //     file), and HTTP response bodies are closed.
 //   - bodylimit: handlers consume request bodies only through
 //     http.MaxBytesReader.
+//   - obslog: serving-path code (internal/service, internal/cluster)
+//     logs through the structured slog logger so every line carries
+//     trace correlation; raw log.Printf/fmt prints are flagged.
 package checkers
 
 import (
@@ -31,6 +34,7 @@ func All() []*analysis.Analyzer {
 		ErrWrapCtx,
 		UncheckedClose,
 		BodyLimit,
+		ObsLog,
 	}
 }
 

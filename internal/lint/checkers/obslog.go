@@ -1,0 +1,113 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"autovalidate/internal/lint/analysis"
+)
+
+// ObsLog keeps the serving path's logging structured: code under
+// internal/service and internal/cluster must log through the
+// request-scoped slog logger (obs.Logger(ctx), or the component logger
+// injected at construction), never through the stdlib log package, raw
+// fmt prints, or direct writes to os.Stderr/os.Stdout. Ad-hoc prints
+// bypass the JSON encoding and the trace_id/span_id correlation fields,
+// so a line emitted that way cannot be joined with /debug/traces — and
+// a stray stdout write corrupts the "listening on" handshake that
+// supervisors parse. Other packages (cmd binaries, tooling) are out of
+// scope.
+var ObsLog = &analysis.Analyzer{
+	Name: "obslog",
+	Doc: "service and cluster code logs through slog with trace correlation, " +
+		"not log.Printf, fmt prints, or raw os.Stderr/os.Stdout writes",
+	Run: runObsLog,
+}
+
+// obslogScope reports whether the package is one the invariant covers.
+func obslogScope(path string) bool {
+	return strings.Contains(path, "internal/service") ||
+		strings.Contains(path, "internal/cluster")
+}
+
+// logFuncs are the stdlib log package's printing entry points (Fatal
+// and Panic variants are additionally covered by nopanic on the decode
+// paths; here they are flagged everywhere in scope).
+var logFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// fmtPrintFuncs write to stdout implicitly.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// fmtFprintFuncs write to an explicit writer; flagged when that writer
+// is os.Stderr or os.Stdout.
+var fmtFprintFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runObsLog(pass *analysis.Pass) error {
+	if !obslogScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				// Builtin print/println reach stderr unformatted.
+				if _, builtin := pass.ObjectOf(id).(*types.Builtin); builtin &&
+					(id.Name == "print" || id.Name == "println") {
+					pass.Reportf(call.Pos(), "builtin %s writes raw output; use the slog logger so the line carries trace_id", id.Name)
+				}
+				return true
+			}
+			fn := callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "log":
+				if logFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "log.%s bypasses structured logging; use the slog logger so the line carries trace_id", fn.Name())
+				}
+			case "fmt":
+				switch {
+				case fmtPrintFuncs[fn.Name()]:
+					pass.Reportf(call.Pos(), "fmt.%s writes to stdout; use the slog logger so the line carries trace_id", fn.Name())
+				case fmtFprintFuncs[fn.Name()] && len(call.Args) > 0 && isStdStream(pass, call.Args[0]):
+					pass.Reportf(call.Pos(), "fmt.%s to os.%s bypasses structured logging; use the slog logger so the line carries trace_id",
+						fn.Name(), stdStreamName(pass, call.Args[0]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStdStream reports whether expr denotes os.Stderr or os.Stdout.
+func isStdStream(pass *analysis.Pass, expr ast.Expr) bool {
+	return stdStreamName(pass, expr) != ""
+}
+
+// stdStreamName returns "Stderr"/"Stdout" when expr is that os
+// package-level variable, else "".
+func stdStreamName(pass *analysis.Pass, expr ast.Expr) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stderr" && sel.Sel.Name != "Stdout") {
+		return ""
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	return sel.Sel.Name
+}

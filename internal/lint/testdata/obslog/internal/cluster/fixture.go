@@ -1,0 +1,20 @@
+// Fixture for the obslog analyzer, cluster side: the gateway and
+// replication code are in scope too.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func gatewayLogs(member string, err error) {
+	log.Print("member down: ", member)          // want `log\.Print bypasses structured logging`
+	fmt.Fprint(os.Stderr, "failover: ", member) // want `fmt\.Fprint to os\.Stderr`
+	_ = err
+}
+
+// errorf builds an error; only printing entry points are flagged.
+func errorf(member string) error {
+	return fmt.Errorf("member %s unreachable", member)
+}

@@ -1,0 +1,54 @@
+// Fixture for the obslog analyzer, service side: serving-path code
+// must log through slog, never the stdlib log package, fmt prints, or
+// raw standard-stream writes.
+package service
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func stdlibLog(err error) {
+	log.Printf("request failed: %v", err) // want `log\.Printf bypasses structured logging`
+	log.Println("still going")            // want `log\.Println bypasses structured logging`
+}
+
+func fatalLog(err error) {
+	log.Fatalf("cannot continue: %v", err) // want `log\.Fatalf bypasses structured logging`
+}
+
+func rawStderr(err error) {
+	fmt.Fprintf(os.Stderr, "oops: %v\n", err) // want `fmt\.Fprintf to os\.Stderr`
+	fmt.Fprintln(os.Stdout, "done")           // want `fmt\.Fprintln to os\.Stdout`
+}
+
+func stdoutPrint() {
+	fmt.Println("listening") // want `fmt\.Println writes to stdout`
+}
+
+func builtinPrint() {
+	println("debugging") // want `builtin println writes raw output`
+}
+
+// structured is the compliant form: the injected component logger (or
+// the request-scoped obs.Logger) carries trace correlation.
+func structured(logger *slog.Logger, err error) {
+	logger.Warn("request failed", slog.String("error", err.Error()))
+}
+
+// toFile is fine: only the process's standard streams are reserved.
+func toFile(f *os.File, err error) {
+	fmt.Fprintf(f, "oops: %v\n", err)
+}
+
+// sprintf formats without writing anywhere; not a logging bypass.
+func sprintf(err error) string {
+	return fmt.Sprintf("wrapped: %v", err)
+}
+
+func allowed(err error) {
+	//avlint:allow obslog the startup handshake line is parsed from stdout
+	fmt.Println("service: listening on :0")
+}

@@ -1,0 +1,16 @@
+// Package tool is outside internal/service and internal/cluster, so
+// the obslog invariant does not apply: command-line tooling prints to
+// its streams freely.
+package tool
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func report(err error) {
+	log.Printf("tool: %v", err)
+	fmt.Fprintln(os.Stderr, "tool:", err)
+	fmt.Println("tool: done")
+}

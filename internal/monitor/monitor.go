@@ -190,6 +190,9 @@ type streamState struct {
 	reinfers      int
 	ewma          float64
 	consec        int
+	// lastAction is the most recent batch's decision — what the
+	// stream-state telemetry gauge reports.
+	lastAction Action
 }
 
 // push appends a verdict to the ring buffer.
@@ -452,6 +455,7 @@ func (e *Engine) finish(stream registry.Stream, v Verdict, alarm bool) Decision 
 		st.alarms++
 		st.reinfers++
 	}
+	st.lastAction = v.Action
 	st.push(v, e.policy.Window)
 
 	return Decision{
@@ -481,6 +485,20 @@ func (e *Engine) ResetAll() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.streams = make(map[string]*streamState)
+}
+
+// States reports each checked stream's most recent action — the
+// source of the autovalidate_stream_state telemetry gauges, so an
+// operator's scrape sees quarantines and re-inference escalations
+// without querying every stream's history.
+func (e *Engine) States() map[string]Action {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]Action, len(e.streams))
+	for name, st := range e.streams {
+		out[name] = st.lastAction
+	}
+	return out
 }
 
 // History snapshots one stream's rolling state; ok is false when the

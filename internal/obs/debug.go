@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux is the opt-in diagnostics surface a binary binds to its
+// -debug-addr: net/http/pprof under /debug/pprof/ and the span ring
+// at /debug/traces. Kept off the serving listener so profiling and
+// trace dumps are never reachable from routed traffic unless the
+// operator asked for them.
+func DebugMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", t.ServeTraces)
+	return mux
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// nopLogger is what Logger(ctx) hands back outside any request scope:
+// logging stays unconditional at call sites, and the discard handler
+// makes the disabled path nearly free.
+var nopLogger = slog.New(slog.DiscardHandler)
+
+// NopLogger returns a logger that discards everything — the default
+// wherever a Config.Logger is left nil.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// NewLogger builds the process-wide structured logger: JSON lines on
+// w (stderr in the binaries — stdout stays reserved for the
+// "listening on" startup handshake that tests and supervisors parse),
+// with a `component` attribute naming the process role (avserve,
+// avgateway, ...). Request-scoped children add trace_id/span_id/route
+// via With.
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return slog.New(h).With(slog.String("component", component))
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// TraceIDHeader is stamped on every response so clients (and the e2e
+// harness) can correlate an answer with server-side logs and
+// /debug/traces without parsing the body.
+const TraceIDHeader = "X-Trace-Id"
+
+// ResponseRecorder wraps a ResponseWriter to capture the status code
+// for span and log stamping.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the first explicit status.
+func (rr *ResponseRecorder) WriteHeader(code int) {
+	if rr.status == 0 {
+		rr.status = code
+	}
+	rr.ResponseWriter.WriteHeader(code)
+}
+
+// Write implies 200 when no header was written.
+func (rr *ResponseRecorder) Write(b []byte) (int, error) {
+	if rr.status == 0 {
+		rr.status = http.StatusOK
+	}
+	return rr.ResponseWriter.Write(b)
+}
+
+// Status returns the response status (200 if nothing was written).
+func (rr *ResponseRecorder) Status() int {
+	if rr.status == 0 {
+		return http.StatusOK
+	}
+	return rr.status
+}
+
+// Handler wraps next with the per-request observability envelope:
+// derive (or continue) the trace identity from the incoming
+// traceparent, open the server span when sampled, stamp X-Trace-Id on
+// the response, and put a request-scoped logger carrying
+// trace_id/span_id/route into the context. One completion line is
+// logged per request at info.
+func Handler(t *Tracer, base *slog.Logger, route string, next http.Handler) http.Handler {
+	if base == nil {
+		base = nopLogger
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sp, sc := t.StartServerSpan(r, route)
+		sp.SetRoute(route)
+		w.Header().Set(TraceIDHeader, sc.TraceID.String())
+		log := base.With(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+			slog.String("route", route),
+		)
+		ctx := ContextWithSpanContext(r.Context(), &sc)
+		ctx = ContextWithLogger(ctx, log)
+		rr := &ResponseRecorder{ResponseWriter: w}
+		next.ServeHTTP(rr, r.WithContext(ctx))
+		status := rr.Status()
+		sp.SetStatus(status)
+		sp.End()
+		log.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		)
+	})
+}

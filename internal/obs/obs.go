@@ -1,0 +1,126 @@
+// Package obs is the cluster's observability layer: structured JSON
+// logging (log/slog), lightweight distributed tracing with W3C
+// traceparent propagation, and shared Prometheus text-exposition
+// helpers — all stdlib-only, sized for a validation cluster that must
+// be diagnosable under production traffic without pulling in an
+// OpenTelemetry dependency tree.
+//
+// The three concerns compose around one idea: every request carries a
+// trace identity from the moment it enters the topology (usually the
+// gateway), that identity rides the `traceparent` header across hops
+// (gateway proxy → member handler → leader write-proxy), and every
+// log line, error response, and recorded span is stamped with it — so
+// one grep, or one /debug/traces query, reconstructs a request's whole
+// path through the cluster.
+//
+// Tracing is sampled at the root (1-in-N, configurable) and spans are
+// retained in a bounded in-process ring buffer served by GET
+// /debug/traces; an unsampled request still gets a trace ID for log
+// correlation, but span recording costs it nothing — StartSpan on an
+// unsampled context returns a nil *Span and allocates nothing, which
+// is what keeps the batch-validation hot path allocation-free.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"log/slog"
+	"math/rand/v2"
+)
+
+// TraceID is the W3C 16-byte trace identifier.
+type TraceID [16]byte
+
+// SpanID is the W3C 8-byte span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random non-zero trace ID. The IDs only need to
+// be unique across one deployment's debugging window, not
+// unguessable, so the fast non-cryptographic source is the right
+// trade on a hot serving path.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			t[i] = byte(a >> (8 * i))
+			t[i+8] = byte(b >> (8 * i))
+		}
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			s[i] = byte(v >> (8 * i))
+		}
+	}
+	return s
+}
+
+// SpanContext is the propagated identity of one span: what crosses
+// process boundaries in the traceparent header, and what request
+// contexts carry between StartSpan calls. Sampled gates span
+// *recording* only — an unsampled context still names a trace for log
+// correlation.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpanContext returns ctx carrying sc. The pointer is
+// stored as-is; callers must not mutate sc afterwards.
+func ContextWithSpanContext(ctx context.Context, sc *SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFrom returns the span context carried by ctx, or nil.
+func SpanContextFrom(ctx context.Context) *SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(*SpanContext)
+	return sc
+}
+
+// TraceIDFrom returns the hex trace ID carried by ctx, or "" when the
+// context has no trace identity — the form log lines and error
+// responses stamp.
+func TraceIDFrom(ctx context.Context) string {
+	if sc := SpanContextFrom(ctx); sc != nil {
+		return sc.TraceID.String()
+	}
+	return ""
+}
+
+type loggerCtxKey struct{}
+
+// ContextWithLogger returns ctx carrying a request-scoped logger.
+func ContextWithLogger(ctx context.Context, log *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerCtxKey{}, log)
+}
+
+// Logger returns the request-scoped logger carried by ctx, or a
+// discard logger — callers can log unconditionally without nil checks.
+func Logger(ctx context.Context) *slog.Logger {
+	if log, ok := ctx.Value(loggerCtxKey{}).(*slog.Logger); ok {
+		return log
+	}
+	return nopLogger
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// The W3C Trace Context wire format (version 00):
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             │  │                                │                │
+//	             │  16-byte trace id (hex)           8-byte span id   flags
+//	             version                                              (01 = sampled)
+//
+// Only the fields this cluster uses are modeled: future versions and
+// additional flag bits are accepted on parse (per the spec's
+// forward-compatibility rules) but always re-emitted as version 00
+// with flags 00 or 01.
+
+// TraceparentHeader is the canonical header name (lowercase per spec).
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent decodes a traceparent header value. ok is false for
+// empty or malformed values, including the all-zero trace or span IDs
+// the spec declares invalid.
+func ParseTraceparent(value string) (sc SpanContext, ok bool) {
+	parts := strings.Split(value, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version, traceHex, spanHex, flagsHex := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || version == "ff" {
+		return SpanContext{}, false
+	}
+	// Version 00 has exactly four fields; later versions may append
+	// more, which parsers must tolerate.
+	if version == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	if len(traceHex) != 32 || len(spanHex) != 16 || len(flagsHex) != 2 {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(traceHex)); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(spanHex)); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(flagsHex)); err != nil {
+		return SpanContext{}, false
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, true
+}
+
+// Traceparent renders the context as a version-00 traceparent value —
+// the outgoing half of propagation, set on every proxied request.
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	b[53] = '0'
+	if sc.Sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}

@@ -52,11 +52,11 @@ func decodeColumnar(w http.ResponseWriter, r *http.Request, kind columnarKind, l
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return nil, false
 		}
-		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, "reading request body: "+err.Error())
 		return nil, false
 	}
 	var values [][]byte
@@ -67,14 +67,14 @@ func decodeColumnar(w http.ResponseWriter, r *http.Request, kind columnarKind, l
 		values, err = splitNDJSONColumn(slab)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return nil, false
 	}
 	if header && len(values) > 0 {
 		values = values[1:]
 	}
 	if len(values) == 0 {
-		writeError(w, http.StatusBadRequest, "columnar body contains no values")
+		writeError(w, r, http.StatusBadRequest, "columnar body contains no values")
 		return nil, false
 	}
 	return values, true

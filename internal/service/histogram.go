@@ -2,60 +2,15 @@ package service
 
 import (
 	"sync/atomic"
-	"time"
+
+	"autovalidate/internal/obs"
 )
-
-// latencyBuckets are the fixed upper bounds (seconds) of the per-endpoint
-// request-duration histograms — a standard latency ladder from 500µs to
-// 10s. Fixed buckets keep observation lock-free (one atomic increment)
-// and make /metrics output directly scrapeable as a Prometheus histogram.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram with atomic counters.
-// counts[i] is the number of observations in bucket i (non-cumulative;
-// the /metrics renderer accumulates), with the final slot catching
-// everything above the last bound (+Inf).
-type histogram struct {
-	counts   []atomic.Uint64
-	sumNanos atomic.Int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
-}
-
-// observe records one request duration.
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := 0
-	for i < len(latencyBuckets) && s > latencyBuckets[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.sumNanos.Add(int64(d))
-}
-
-// snapshot returns the cumulative bucket counts (one per bound, plus
-// +Inf last), the total observation count, and the duration sum in
-// seconds. Concurrent observations may land between reads of different
-// counters; the skew is at most a few in-flight requests.
-func (h *histogram) snapshot() (cumulative []uint64, count uint64, sumSeconds float64) {
-	cumulative = make([]uint64, len(h.counts))
-	var running uint64
-	for i := range h.counts {
-		running += h.counts[i].Load()
-		cumulative[i] = running
-	}
-	return cumulative, running, time.Duration(h.sumNanos.Load()).Seconds()
-}
 
 // endpointStats carries one route's request counter and latency
 // histogram; the enclosing map is fixed at construction, so lock-free
-// access is safe.
+// access is safe. The histogram itself lives in internal/obs so the
+// gateway's exposition shares the same buckets and rendering.
 type endpointStats struct {
 	requests atomic.Uint64
-	latency  *histogram
+	latency  *obs.Histogram
 }

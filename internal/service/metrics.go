@@ -1,18 +1,26 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
+
+	"autovalidate/internal/buildinfo"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/obs"
 )
 
+// streamStateOrder lists the monitor actions a stream can sit in; the
+// autovalidate_stream_state gauge emits one 0/1 series per (stream,
+// state) so a scrape sees escalations as state transitions.
+var streamStateOrder = []monitor.Action{
+	monitor.Accept, monitor.Alarm, monitor.Quarantine, monitor.Reinfer,
+}
+
 // handleMetrics renders the serving counters in the Prometheus text
-// exposition format (version 0.0.4), hand-written rather than pulled in
-// as a client library dependency — the format is a dozen lines of
-// name/value pairs.
+// exposition format through the shared obs.MetricWriter (the gateway's
+// /gateway/metrics uses the same writer, so both expositions pass the
+// same parser-based lint).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	cacheSize := s.cache.len()
@@ -23,39 +31,82 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	idx := s.idx.Load()
 
-	var sb strings.Builder
-	counter := func(name, help string, value uint64) {
-		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
-	}
-	gauge := func(name, help string, value float64) {
-		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
-	}
+	var mw obs.MetricWriter
 
-	counter("autovalidate_cache_hits_total", "Rule-cache hits.", hits)
-	counter("autovalidate_cache_misses_total", "Rule-cache misses.", misses)
-	counter("autovalidate_cache_evictions_total", "Rule-cache LRU evictions.", evictions)
-	gauge("autovalidate_cache_entries", "Rules currently cached.", float64(cacheSize))
-	gauge("autovalidate_cache_capacity", "Rule-cache capacity.", float64(cacheCap))
-	gauge("autovalidate_index_generation", "Offline index ingest-batch generation.", float64(idx.Generation))
-	gauge("autovalidate_index_patterns", "Patterns in the offline index.", float64(idx.Size()))
-	gauge("autovalidate_index_columns", "Corpus columns aggregated into the index.", float64(idx.Columns))
-	counter("autovalidate_ingests_total", "Ingest batches folded into the index.", s.ingests.Load())
+	bi := buildinfo.Get()
+	const biName = "autovalidate_build_info"
+	mw.Family(biName, "Build identity of the running binary (value is always 1).", "gauge")
+	mw.Int(biName, obs.Label("version", bi.Version)+","+obs.Label("revision", bi.ShortRevision())+","+obs.Label("goversion", bi.GoVersion), 1)
+
+	mw.Counter("autovalidate_cache_hits_total", "Rule-cache hits.", hits)
+	mw.Counter("autovalidate_cache_misses_total", "Rule-cache misses.", misses)
+	mw.Counter("autovalidate_cache_evictions_total", "Rule-cache LRU evictions.", evictions)
+	mw.Gauge("autovalidate_cache_entries", "Rules currently cached.", float64(cacheSize))
+	mw.Gauge("autovalidate_cache_capacity", "Rule-cache capacity.", float64(cacheCap))
+	mw.Gauge("autovalidate_index_generation", "Offline index ingest-batch generation.", float64(idx.Generation))
+	mw.Gauge("autovalidate_index_patterns", "Patterns in the offline index.", float64(idx.Size()))
+	mw.Gauge("autovalidate_index_columns", "Corpus columns aggregated into the index.", float64(idx.Columns))
+	mw.Counter("autovalidate_ingests_total", "Ingest batches folded into the index.", s.ingests.Load())
+
 	// Compiled-vs-fallback traffic on the columnar batch endpoints: "dfa"
 	// is the single-pass table, "nfa" the step-bounded pike-VM fallback
 	// for patterns too large to determinize.
 	const engName = "autovalidate_compiled_values_total"
-	fmt.Fprintf(&sb, "# HELP %s Values validated through compiled rule programs, by engine.\n# TYPE %s counter\n", engName, engName)
-	fmt.Fprintf(&sb, "%s{engine=\"dfa\"} %d\n", engName, s.compiledDFAValues.Load())
-	fmt.Fprintf(&sb, "%s{engine=\"nfa\"} %d\n", engName, s.compiledNFAValues.Load())
-	counter("autovalidate_replicated_deltas_total", "Replicated deltas applied (followers).", s.replicatedDeltas.Load())
-	counter("autovalidate_snapshot_installs_total", "Full snapshots installed (followers).", s.snapshotInstalls.Load())
+	mw.Family(engName, "Values validated through compiled rule programs, by engine.", "counter")
+	mw.Int(engName, `engine="dfa"`, s.compiledDFAValues.Load())
+	mw.Int(engName, `engine="nfa"`, s.compiledNFAValues.Load())
+
+	mw.Counter("autovalidate_replicated_deltas_total", "Replicated deltas applied (followers).", s.replicatedDeltas.Load())
+	mw.Counter("autovalidate_snapshot_installs_total", "Full snapshots installed (followers).", s.snapshotInstalls.Load())
+
+	// Replication lag, both in generations and in wall time. A leader
+	// (or a standalone server) reports 0 behind; the seconds-since
+	// gauge appears once the first replicated apply lands.
+	leaderGen := s.leaderGen.Load()
+	mw.Gauge("autovalidate_replication_leader_generation", "Highest leader index generation observed via replication (0 when not a follower).", float64(leaderGen))
+	behind := 0.0
+	if leaderGen > idx.Generation {
+		behind = float64(leaderGen - idx.Generation)
+	}
+	mw.Gauge("autovalidate_replication_generations_behind", "Leader index generations not yet applied locally.", behind)
+	if last := s.lastApplyNanos.Load(); last > 0 {
+		mw.Gauge("autovalidate_replication_seconds_since_apply", "Seconds since the last replicated delta or snapshot was applied.", time.Since(time.Unix(0, last)).Seconds())
+	}
+	const applyName = "autovalidate_replication_apply_duration_seconds"
+	mw.Family(applyName, "Replication apply duration, by kind.", "histogram")
+	mw.Histogram(applyName, obs.Label("kind", "delta"), s.applyDelta)
+	mw.Histogram(applyName, obs.Label("kind", "snapshot"), s.applySnapshot)
+
 	ready := 0.0
 	if s.ready.Load() {
 		ready = 1
 	}
-	gauge("autovalidate_ready", "Whether /readyz reports 200 (1) or 503 (0).", ready)
-	gauge("autovalidate_streams", "Streams registered for continuous validation.", float64(s.registry.Len()))
-	gauge("autovalidate_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	mw.Gauge("autovalidate_ready", "Whether /readyz reports 200 (1) or 503 (0).", ready)
+	mw.Gauge("autovalidate_streams", "Streams registered for continuous validation.", float64(s.registry.Len()))
+	mw.Gauge("autovalidate_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	// Per-stream monitor state: the most recent decision as a 0/1 gauge
+	// over the four actions, so quarantines and re-inference escalations
+	// are visible to a scrape without querying each stream's history.
+	states := s.mon.States()
+	if len(states) > 0 {
+		streams := make([]string, 0, len(states))
+		for name := range states {
+			streams = append(streams, name)
+		}
+		sort.Strings(streams)
+		const stName = "autovalidate_stream_state"
+		mw.Family(stName, "Most recent monitor decision per stream (1 marks the current state).", "gauge")
+		for _, name := range streams {
+			for _, a := range streamStateOrder {
+				var v uint64
+				if a == states[name] {
+					v = 1
+				}
+				mw.Int(stName, obs.Label("stream", name)+","+obs.Label("state", a.String()), v)
+			}
+		}
+	}
 
 	// Per-semantic-domain counters: detections at registration time,
 	// checked batches, and per-value pass/fail verdicts. Domains appear
@@ -79,26 +130,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.domMu.Unlock()
 	if len(rows) > 0 {
 		const detName = "autovalidate_domain_detections_total"
-		fmt.Fprintf(&sb, "# HELP %s Training columns a semantic domain was proposed for.\n# TYPE %s counter\n", detName, detName)
+		mw.Family(detName, "Training columns a semantic domain was proposed for.", "counter")
 		for _, r := range rows {
-			fmt.Fprintf(&sb, "%s{domain=%q} %d\n", detName, r.name, r.detections)
+			mw.Int(detName, obs.Label("domain", r.name), r.detections)
 		}
 		const batName = "autovalidate_domain_batches_total"
-		fmt.Fprintf(&sb, "# HELP %s Stream batches checked against a semantic domain.\n# TYPE %s counter\n", batName, batName)
+		mw.Family(batName, "Stream batches checked against a semantic domain.", "counter")
 		for _, r := range rows {
 			if r.name == "none" {
 				continue
 			}
-			fmt.Fprintf(&sb, "%s{domain=%q} %d\n", batName, r.name, r.batches)
+			mw.Int(batName, obs.Label("domain", r.name), r.batches)
 		}
 		const valName = "autovalidate_domain_values_total"
-		fmt.Fprintf(&sb, "# HELP %s Values checked against a semantic domain, by verdict.\n# TYPE %s counter\n", valName, valName)
+		mw.Family(valName, "Values checked against a semantic domain, by verdict.", "counter")
 		for _, r := range rows {
 			if r.name == "none" {
 				continue
 			}
-			fmt.Fprintf(&sb, "%s{domain=%q,verdict=\"pass\"} %d\n", valName, r.name, r.hit)
-			fmt.Fprintf(&sb, "%s{domain=%q,verdict=\"fail\"} %d\n", valName, r.name, r.f)
+			mw.Int(valName, obs.Label("domain", r.name)+`,verdict="pass"`, r.hit)
+			mw.Int(valName, obs.Label("domain", r.name)+`,verdict="fail"`, r.f)
 		}
 	}
 
@@ -109,31 +160,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(patterns)
 
 	const reqName = "autovalidate_http_requests_total"
-	fmt.Fprintf(&sb, "# HELP %s Requests served, by route.\n# TYPE %s counter\n", reqName, reqName)
+	mw.Family(reqName, "Requests served, by route.", "counter")
 	for _, route := range patterns {
-		fmt.Fprintf(&sb, "%s{endpoint=%q} %d\n", reqName, route, s.endpoints[route].requests.Load())
+		mw.Int(reqName, obs.Label("endpoint", route), s.endpoints[route].requests.Load())
 	}
 
 	// Per-endpoint latency histograms: fixed buckets, rendered in the
 	// cumulative form Prometheus expects. Routes that have served no
 	// requests are skipped to keep the exposition small.
 	const durName = "autovalidate_http_request_duration_seconds"
-	fmt.Fprintf(&sb, "# HELP %s Request latency, by route.\n# TYPE %s histogram\n", durName, durName)
+	mw.Family(durName, "Request latency, by route.", "histogram")
 	for _, route := range patterns {
-		cum, count, sum := s.endpoints[route].latency.snapshot()
-		if count == 0 {
-			continue
-		}
-		for i, bound := range latencyBuckets {
-			fmt.Fprintf(&sb, "%s_bucket{endpoint=%q,le=%q} %d\n",
-				durName, route, strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
-		}
-		fmt.Fprintf(&sb, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", durName, route, cum[len(cum)-1])
-		fmt.Fprintf(&sb, "%s_sum{endpoint=%q} %g\n", durName, route, sum)
-		fmt.Fprintf(&sb, "%s_count{endpoint=%q} %d\n", durName, route, count)
+		mw.Histogram(durName, obs.Label("endpoint", route), s.endpoints[route].latency)
 	}
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprint(w, sb.String())
+	mw.WriteResponse(w)
 }

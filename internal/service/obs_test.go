@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/obs"
+	"autovalidate/internal/obs/promtest"
+	"autovalidate/internal/validate"
+)
+
+// tracedServer returns a server over the fixture index with the given
+// tracer installed.
+func tracedServer(t *testing.T, tracer *obs.Tracer) *Server {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.M = 5
+	srv, err := New(Config{Index: testIndex(t), Options: &opt, CacheSize: 16, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// cachedRule infers a rule through the service and returns it from the
+// rule cache — the exact object the columnar hot path validates with.
+func cachedRule(t *testing.T, srv *Server, ts *httptest.Server) *validate.Rule {
+	t.Helper()
+	var resp InferResponse
+	if code := post(t, ts, "/infer", InferRequest{Values: trainValues(t, "timestamp_us", 100, 3)}, &resp); code != http.StatusOK {
+		t.Fatalf("/infer: status %d", code)
+	}
+	srv.mu.Lock()
+	rule, ok := srv.cache.get(resp.Fingerprint)
+	srv.mu.Unlock()
+	if !ok {
+		t.Fatalf("inferred fingerprint %s not in cache", resp.Fingerprint)
+	}
+	return rule
+}
+
+// TestBatchValidateZeroAllocsWhenUnsampled is the observability
+// acceptance bound: instrumenting the batch-validate hot path must cost
+// nothing when the request's trace was sampled out — the span calls
+// collapse to nil-receiver no-ops and the compiled validator reuses its
+// pooled scratch.
+func TestBatchValidateZeroAllocsWhenUnsampled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop puts; alloc counts are meaningless")
+	}
+	srv := tracedServer(t, obs.NewTracer(obs.TracerConfig{SampleEvery: -1}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rule := cachedRule(t, srv, ts)
+
+	vals := trainValues(t, "timestamp_us", 500, 11)
+	batch := make([][]byte, len(vals))
+	for i, v := range vals {
+		batch[i] = []byte(v)
+	}
+	rep := validate.AcquireBatchReport()
+	defer rep.Release()
+
+	// The context an unsampled request carries: trace identity present
+	// (for log correlation), sampling off.
+	sc := &obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}
+	ctx := obs.ContextWithSpanContext(context.Background(), sc)
+
+	// Warm the report capacity and the program's scratch pool.
+	if err := rule.ValidateBatch(batch, rep); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_, sp := srv.tracer.StartSpan(ctx, "monitor.check")
+		sp.SetStream("hot")
+		err := rule.ValidateBatch(batch, rep)
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("unsampled traced batch-validate: %.1f allocs per batch, want 0", allocs)
+	}
+}
+
+// TestMetricsExpositionValidUnderTraffic lints /metrics with the
+// exposition parser while validation and stream-check traffic runs
+// concurrently — the scrape must stay parseable (ordered HELP/TYPE,
+// monotone buckets, no duplicate series) at every interleaving. Run
+// with -race this doubles as a data-race probe over the metric
+// registries.
+func TestMetricsExpositionValidUnderTraffic(t *testing.T) {
+	srv := tracedServer(t, obs.NewTracer(obs.TracerConfig{SampleEvery: 2}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code := post(t, ts, "/infer", InferRequest{Values: trainValues(t, "ipv4", 80, 5)}, nil); code != http.StatusOK {
+		t.Fatalf("/infer: status %d", code)
+	}
+	put, err := http.NewRequest(http.MethodPut, ts.URL+"/streams/obs",
+		strings.NewReader(fmt.Sprintf(`{"train": %s}`, mustJSON(t, trainValues(t, "guid", 80, 6)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	put.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(put); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream registration: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	const workers, rounds = 4, 10
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				post(t, ts, "/validate", map[string]any{"values": trainValues(t, "ipv4", 20, seed)}, nil)
+				post(t, ts, "/streams/obs/check", map[string]any{"values": trainValues(t, "guid", 20, seed+1)}, nil)
+			}
+		}(int64(100 + w))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	for {
+		body := scrape(t, ts)
+		if errs := promtest.Lint(body); len(errs) != 0 {
+			t.Fatalf("/metrics failed exposition lint mid-traffic: %v", errs)
+		}
+		select {
+		case <-done:
+			// One final scrape after the traffic settles; the stream
+			// gauge and build info must be present by now.
+			body := scrape(t, ts)
+			if errs := promtest.Lint(body); len(errs) != 0 {
+				t.Fatalf("/metrics failed exposition lint after traffic: %v", errs)
+			}
+			for _, want := range []string{
+				"autovalidate_build_info",
+				`autovalidate_stream_state{stream="obs",state="accept"}`,
+				"autovalidate_replication_leader_generation",
+				"autovalidate_replication_apply_duration_seconds",
+			} {
+				if !strings.Contains(body, want) {
+					t.Errorf("exposition missing %q", want)
+				}
+			}
+			return
+		default:
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -10,6 +10,7 @@ import (
 	"autovalidate/internal/core"
 	"autovalidate/internal/corpus"
 	"autovalidate/internal/index"
+	"autovalidate/internal/obs"
 	"autovalidate/internal/registry"
 )
 
@@ -116,7 +117,7 @@ func TestMetricsHistograms(t *testing.T) {
 	}
 	// Buckets must be cumulative: the +Inf bucket equals the count, and
 	// no bucket may exceed it — spot-check by parsing the healthz lines.
-	if strings.Count(body, `endpoint="GET /healthz",le=`) != len(latencyBuckets)+1 {
+	if strings.Count(body, `endpoint="GET /healthz",le=`) != len(obs.LatencyBuckets)+1 {
 		t.Fatalf("wrong bucket line count for GET /healthz:\n%s", body)
 	}
 }

@@ -23,12 +23,14 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httputil"
@@ -42,6 +44,7 @@ import (
 	"autovalidate/internal/domain"
 	"autovalidate/internal/index"
 	"autovalidate/internal/monitor"
+	"autovalidate/internal/obs"
 	"autovalidate/internal/registry"
 	"autovalidate/internal/validate"
 )
@@ -90,6 +93,14 @@ type Config struct {
 	// is installed (InstallSnapshot). Followers start unready so a
 	// cluster gateway does not route to them before they have an index.
 	StartUnready bool
+	// Logger receives structured request and error logs; nil discards.
+	// Request handlers get a child carrying trace_id/span_id/route via
+	// the context (obs.Logger).
+	Logger *slog.Logger
+	// Tracer records request spans for GET /debug/traces and stamps
+	// trace IDs into logs and error responses; nil disables span
+	// recording (requests still get trace IDs for correlation).
+	Tracer *obs.Tracer
 }
 
 // Server is a long-running validation service over one offline index.
@@ -146,6 +157,19 @@ type Server struct {
 	ready            atomic.Bool
 	replicatedDeltas atomic.Uint64
 	snapshotInstalls atomic.Uint64
+
+	// Replication-lag telemetry: the highest leader generation observed
+	// by catch-up (ObserveLeaderGeneration), the wall time of the last
+	// replication apply, and apply-duration histograms by kind.
+	leaderGen      atomic.Uint64
+	lastApplyNanos atomic.Int64
+	applyDelta     *obs.Histogram
+	applySnapshot  *obs.Histogram
+
+	// log and tracer are the observability hooks; both have cheap nil /
+	// discard defaults so instrumentation sites stay unconditional.
+	log    *slog.Logger
+	tracer *obs.Tracer
 
 	// endpoints maps route patterns to request counters and latency
 	// histograms; the map is fixed at construction, so lock-free reads
@@ -224,29 +248,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Monitor != nil {
 		pol = *cfg.Monitor
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	s := &Server{
-		maxIngest:  maxIngest,
-		readOnly:   cfg.ReadOnly,
-		cache:      newRuleLRU(size),
-		registry:   reg,
-		regPath:    cfg.RegistryPath,
-		mon:        monitor.NewEngine(pol),
-		start:      time.Now(),
-		deltaLog:   cfg.DeltaLog,
-		writeProxy: cfg.WriteProxy,
-		endpoints:  make(map[string]*endpointStats),
-		domStats:   make(map[string]*domainStats),
+		maxIngest:     maxIngest,
+		readOnly:      cfg.ReadOnly,
+		cache:         newRuleLRU(size),
+		registry:      reg,
+		regPath:       cfg.RegistryPath,
+		mon:           monitor.NewEngine(pol),
+		start:         time.Now(),
+		deltaLog:      cfg.DeltaLog,
+		writeProxy:    cfg.WriteProxy,
+		endpoints:     make(map[string]*endpointStats),
+		domStats:      make(map[string]*domainStats),
+		applyDelta:    obs.NewHistogram(nil),
+		applySnapshot: obs.NewHistogram(nil),
+		log:           log,
+		tracer:        cfg.Tracer,
 	}
 	s.opt.Store(&opt)
 	if cfg.WriteProxy != nil {
 		rp := httputil.NewSingleHostReverseProxy(cfg.WriteProxy)
 		rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
-			writeError(w, http.StatusBadGateway, "proxying write to leader: "+err.Error())
+			writeError(w, r, http.StatusBadGateway, "proxying write to leader: "+err.Error())
 		}
 		s.proxy = rp
 	}
 	for _, route := range routes {
-		s.endpoints[route] = &endpointStats{latency: newHistogram()}
+		s.endpoints[route] = &endpointStats{latency: obs.NewHistogram(nil)}
 	}
 	// Construction: no reader can hold a snapshot yet and the cache is
 	// still empty, so this store needs no critical section.
@@ -272,23 +304,29 @@ var routes = []string{
 	"DELETE /streams/{name}",
 	"POST /streams/{name}/check",
 	"GET /streams/{name}/history",
+	"GET /debug/traces",
 }
 
 // maxBody caps request bodies; a validation batch of a million short
 // values fits comfortably.
 const maxBody = 64 << 20
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes. Every route is wrapped in the
+// observability envelope (obs.Handler): trace identity derived from or
+// continued via the incoming traceparent, a request-scoped logger in
+// the context, X-Trace-Id on the response, and a server span recorded
+// when the trace is sampled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(route string, h http.HandlerFunc) {
 		stats := s.endpoints[route]
-		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			stats.requests.Add(1)
 			start := time.Now()
 			h(w, r)
-			stats.latency.observe(time.Since(start))
+			stats.latency.Observe(time.Since(start))
 		})
+		mux.Handle(route, obs.Handler(s.tracer, s.log, route, inner))
 	}
 	handle("POST /infer", s.handleInfer)
 	handle("POST /validate", s.handleValidate)
@@ -312,12 +350,26 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /readyz", s.handleReadyz)
 	handle("GET /stats", s.handleStats)
 	handle("GET /metrics", s.handleMetrics)
+	handle("GET /debug/traces", s.tracer.ServeTraces)
 	return mux
 }
 
+// handleProxyWrite forwards a mutating request to the leader,
+// propagating this hop's trace identity so the leader's span parents
+// correctly (gateway → follower → leader is one trace).
 func (s *Server) handleProxyWrite(w http.ResponseWriter, r *http.Request) {
-	s.proxy.ServeHTTP(w, r)
+	ctx, sp := s.tracer.StartSpan(r.Context(), "leader.write_proxy")
+	defer sp.End()
+	sp.SetMember(s.writeProxy.String())
+	if sc := obs.SpanContextFrom(ctx); sc != nil {
+		r.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
+	s.proxy.ServeHTTP(w, r.WithContext(ctx))
 }
+
+// Tracer returns the server's span recorder (nil when tracing is
+// disabled) — the cmd binaries mount its /debug/traces on -debug-addr.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Index returns the currently served index snapshot.
 func (s *Server) Index() *index.Index { return s.idx.Load() }
@@ -378,6 +430,9 @@ type ValidateResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// TraceID correlates the failure with server-side structured logs
+	// and /debug/traces; empty outside the request middleware.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // options resolves per-request overrides against the server defaults.
@@ -522,7 +577,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	cols, err := ingestColumns(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -534,7 +589,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	next := s.idx.Load().Clone()
 	delta, err := next.IngestColumns(cols, index.BuildOptions{})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if s.deltaLog != nil {
@@ -579,17 +634,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, "values are required")
+		writeError(w, r, http.StatusBadRequest, "values are required")
 		return
 	}
 	opt, err := s.options(req.RuleParams)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	fp, rule, cached, err := s.inferCached(req.Values, opt)
 	if err != nil {
-		writeError(w, inferStatus(err), err.Error())
+		writeError(w, r, inferStatus(err), err.Error())
 		return
 	}
 	// Domain detection is deterministic on the values and cheap (a
@@ -612,7 +667,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, "values are required")
+		writeError(w, r, http.StatusBadRequest, "values are required")
 		return
 	}
 
@@ -625,24 +680,24 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		if ok {
 			rule, resp.Fingerprint, resp.Cached = cached, req.Fingerprint, true
 		} else if len(req.Train) == 0 {
-			writeError(w, http.StatusNotFound,
+			writeError(w, r, http.StatusNotFound,
 				"unknown fingerprint (evicted or never inferred); resend with train values")
 			return
 		}
 	}
 	if rule == nil {
 		if len(req.Train) == 0 {
-			writeError(w, http.StatusBadRequest, "one of rule, fingerprint, or train is required")
+			writeError(w, r, http.StatusBadRequest, "one of rule, fingerprint, or train is required")
 			return
 		}
 		opt, err := s.options(req.RuleParams)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		fp, inferred, cached, err := s.inferCached(req.Train, opt)
 		if err != nil {
-			writeError(w, inferStatus(err), err.Error())
+			writeError(w, r, inferStatus(err), err.Error())
 			return
 		}
 		rule, resp.Fingerprint, resp.Cached = inferred, fp, cached
@@ -650,7 +705,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 
 	report, err := rule.Validate(req.Values)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	resp.Report = report
@@ -664,7 +719,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleValidateColumnar(w http.ResponseWriter, r *http.Request, kind columnarKind) {
 	fp := r.URL.Query().Get("fingerprint")
 	if fp == "" {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			"columnar bodies carry only values; pass ?fingerprint= from a prior /infer to name the rule")
 		return
 	}
@@ -672,7 +727,7 @@ func (s *Server) handleValidateColumnar(w http.ResponseWriter, r *http.Request, 
 	rule, ok := s.cache.get(fp)
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound,
+		writeError(w, r, http.StatusNotFound,
 			"unknown fingerprint (evicted or never inferred); re-run /infer with the training column")
 		return
 	}
@@ -683,7 +738,7 @@ func (s *Server) handleValidateColumnar(w http.ResponseWriter, r *http.Request, 
 	rep := validate.AcquireBatchReport()
 	defer rep.Release()
 	if err := rule.ValidateBatch(values, rep); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.countCompiled(rule, len(values))
@@ -756,10 +811,14 @@ func (s *Server) DeltaLog() *index.DeltaLog { return s.deltaLog }
 // stale. It fails without side effects if the delta does not extend the
 // current generation.
 func (s *Server) ReplicateDelta(d *index.Delta) error {
+	_, sp := s.tracer.StartSpan(context.Background(), "replication.apply_delta")
+	defer sp.End()
+	start := time.Now()
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	next := s.idx.Load().Clone()
 	if err := next.ApplyDelta(d); err != nil {
+		sp.SetError(err)
 		return err
 	}
 	if s.deltaLog != nil {
@@ -772,6 +831,11 @@ func (s *Server) ReplicateDelta(d *index.Delta) error {
 	s.mu.Unlock()
 	s.registry.MarkStale(next.Generation)
 	s.replicatedDeltas.Add(1)
+	s.applyDelta.Observe(time.Since(start))
+	s.lastApplyNanos.Store(time.Now().UnixNano())
+	s.log.Info("replicated delta applied",
+		slog.Uint64("generation", next.Generation),
+		slog.Duration("took", time.Since(start)))
 	return nil
 }
 
@@ -783,6 +847,9 @@ func (s *Server) ReplicateDelta(d *index.Delta) error {
 // wipe months of drift state — this replica holds the only copy for the
 // streams the gateway pins here), and the server becomes ready.
 func (s *Server) InstallSnapshot(idx *index.Index, reg *registry.Registry) {
+	_, sp := s.tracer.StartSpan(context.Background(), "replication.install_snapshot")
+	defer sp.End()
+	start := time.Now()
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	s.mu.Lock()
@@ -808,6 +875,28 @@ func (s *Server) InstallSnapshot(idx *index.Index, reg *registry.Registry) {
 	}
 	s.snapshotInstalls.Add(1)
 	s.ready.Store(true)
+	s.applySnapshot.Observe(time.Since(start))
+	s.lastApplyNanos.Store(time.Now().UnixNano())
+	// The snapshot embodies the leader's state at serve time, so it is
+	// also a lower bound on the leader's generation.
+	s.ObserveLeaderGeneration(idx.Generation)
+	s.log.Info("snapshot installed",
+		slog.Uint64("generation", idx.Generation),
+		slog.Int("patterns", idx.Size()),
+		slog.Duration("took", time.Since(start)))
+}
+
+// ObserveLeaderGeneration records the highest leader index generation
+// this server has seen — a follower's catch-up loop reports it from
+// every replication response — feeding the generations-behind and
+// seconds-since-applied replication-lag gauges in /metrics.
+func (s *Server) ObserveLeaderGeneration(gen uint64) {
+	for {
+		cur := s.leaderGen.Load()
+		if gen <= cur || s.leaderGen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
 }
 
 // InstallRegistry replaces the stream registry with a freshly replicated
@@ -898,11 +987,11 @@ func decodeJSONLimit(w http.ResponseWriter, r *http.Request, dst any, limit int6
 	if err := dec.Decode(dst); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -914,6 +1003,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+// writeError answers a failure as JSON, stamped with the request's
+// trace ID, and logs it through the request-scoped logger (which
+// carries the same trace identity) — one grep connects the client's
+// error to the server's view of it.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	ctx := r.Context()
+	obs.Logger(ctx).Warn("request failed",
+		slog.Int("status", status),
+		slog.String("error", msg))
+	writeJSON(w, status, errorResponse{Error: msg, TraceID: obs.TraceIDFrom(ctx)})
 }

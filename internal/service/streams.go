@@ -15,12 +15,14 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 
 	"autovalidate/internal/core"
 	"autovalidate/internal/domain"
 	"autovalidate/internal/monitor"
+	"autovalidate/internal/obs"
 	"autovalidate/internal/registry"
 	"autovalidate/internal/validate"
 )
@@ -181,12 +183,12 @@ func (s *Server) handleStreamPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Train) == 0 {
-		writeError(w, http.StatusBadRequest, "train values are required")
+		writeError(w, r, http.StatusBadRequest, "train values are required")
 		return
 	}
 	stream, status, err := s.registerStream(name, req.Train, req.RuleParams)
 	if err != nil {
-		writeError(w, status, err.Error())
+		writeError(w, r, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, streamInfo(stream, s.registry.Versions(name)))
@@ -196,23 +198,23 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	versions := s.registry.Versions(name)
 	if versions == 0 {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
 		return
 	}
 	stream, ok := s.registry.Get(name)
 	if v := r.URL.Query().Get("version"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad version: "+v)
+			writeError(w, r, http.StatusBadRequest, "bad version: "+v)
 			return
 		}
 		if stream, ok = s.registry.GetVersion(name, n); !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("stream %q has no version %d", name, n))
+			writeError(w, r, http.StatusNotFound, fmt.Sprintf("stream %q has no version %d", name, n))
 			return
 		}
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, streamInfo(stream, versions))
@@ -221,12 +223,12 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.registry.Delete(name) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
 		return
 	}
 	s.mon.Reset(name)
 	if err := s.persistRegistry(); err != nil {
-		writeError(w, http.StatusInternalServerError,
+		writeError(w, r, http.StatusInternalServerError,
 			"stream deleted but registry persistence failed: "+err.Error())
 		return
 	}
@@ -304,7 +306,7 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(req.Values) == 0 {
-			writeError(w, http.StatusBadRequest, "values are required")
+			writeError(w, r, http.StatusBadRequest, "values are required")
 			return
 		}
 		check = func(stream registry.Stream) (monitor.Decision, error) {
@@ -314,13 +316,28 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	stream, ok := s.registry.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q (register it with PUT /streams/%s)", name, name))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown stream %q (register it with PUT /streams/%s)", name, name))
 		return
 	}
+	// The monitor evaluation is its own span under the handler's: the
+	// hop-by-hop view of a slow check separates routing and decode time
+	// from the statistical tests themselves.
+	_, sp := s.tracer.StartSpan(r.Context(), "monitor.check")
+	sp.SetStream(name)
 	dec, err := check(stream)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
+	}
+	log := obs.Logger(r.Context()).With(slog.String("stream", name))
+	if act := dec.Verdict.Action; act != monitor.Accept {
+		log.Warn("stream batch escalated",
+			slog.String("action", act.String()),
+			slog.Int("non_conforming", dec.Verdict.NonConforming),
+			slog.Int("total", dec.Verdict.Total),
+			slog.Int("consecutive_alarms", dec.ConsecutiveAlarms))
 	}
 	if v := dec.Verdict; v.Domain != "" {
 		s.domainChecked(v.Domain, v.Total-v.DomainInvalid, v.DomainInvalid)
@@ -343,6 +360,7 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 			s.mon.Reset(name)
 			resp.Reinferred = true
 			resp.NewVersion = next.Version
+			log.Info("stream rule re-inferred", slog.Int("new_version", next.Version))
 			if err := s.persistRegistry(); err != nil {
 				resp.ReinferError = "re-inferred but registry persistence failed: " + err.Error()
 			}
@@ -354,7 +372,7 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStreamHistory(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if s.registry.Versions(name) == 0 {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
 		return
 	}
 	h, _ := s.mon.History(name) // zero history is a valid answer
