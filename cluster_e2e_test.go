@@ -95,10 +95,16 @@ func TestClusterEndToEnd(t *testing.T) {
 		}
 	}
 
+	// Each member keeps its own drift-forensics journal: the gateway's
+	// /cluster/events must find an alarm on whichever member the ring
+	// pinned the stream to.
+	journalDir := func(logName string) string { return filepath.Join(dir, logName+"-journal") }
 	leaderAddr := startProc("leader", "avserve", "-index", idx, "-leader", "-m", "5",
+		"-journal", journalDir("leader"),
 		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
 	leaderURL := "http://" + leaderAddr
 	followerAddr := startProc("follower", "avserve", "-follow", leaderURL, "-m", "5", "-poll", "200ms",
+		"-journal", journalDir("follower"),
 		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
 	followerURL := "http://" + followerAddr
 	gatewayAddr := startProc("gateway", "avgateway", "-members", leaderURL+","+followerURL, "-check", "100ms",
@@ -127,6 +133,16 @@ func TestClusterEndToEnd(t *testing.T) {
 				}
 				if logs, err := os.ReadFile(stderrLog(name)); err == nil {
 					os.WriteFile(filepath.Join(artDir, name+".stderr.log"), logs, 0o644)
+				}
+				// The raw journal segments travel too: avtail or a journal
+				// replay can reconstruct the decision history offline.
+				if src := journalDir(name); name != "gateway" {
+					dst := filepath.Join(artDir, name+"-journal")
+					if err := os.MkdirAll(dst, 0o755); err == nil {
+						if err := os.CopyFS(dst, os.DirFS(src)); err != nil {
+							t.Logf("artifacts: copying %s journal: %v", name, err)
+						}
+					}
 				}
 			}
 		})
@@ -298,6 +314,78 @@ func TestClusterEndToEnd(t *testing.T) {
 		}
 	}
 	waitLogContains("gateway", traceID)
+
+	// Drift forensics across the cluster: a garbage batch through the
+	// gateway alarms on whichever member the ring pinned "feed" to, the
+	// response carries the journal event ID, and the gateway's merged
+	// /cluster/events serves that exact event — original trace ID, alarm
+	// action, failure attribution — from exactly one member.
+	garbage := make([]string, 25)
+	for i := range garbage {
+		garbage[i] = "!!drift-" + strings.Repeat("x", i%3) + "!!"
+	}
+	alarmCode, alarmOut, alarmHdr := postJSONHdr(t, http.MethodPost, gatewayURL+"/streams/feed/check", map[string]any{"values": garbage})
+	if alarmCode != http.StatusOK {
+		t.Fatalf("gateway garbage check = %d (%v)", alarmCode, alarmOut)
+	}
+	alarmTrace := alarmHdr.Get("X-Trace-Id")
+	if len(alarmTrace) != 32 {
+		t.Fatalf("garbage check X-Trace-Id = %q, want a 32-hex trace ID", alarmTrace)
+	}
+	alarmEventID, _ := alarmOut["event_id"].(float64)
+	if alarmEventID <= 0 {
+		t.Fatalf("garbage check response missing journal event_id: %v", alarmOut)
+	}
+	{
+		resp, err := http.Get(gatewayURL + "/cluster/events?kind=decision&stream=feed&trace=" + alarmTrace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var merged struct {
+			Events []struct {
+				ID      float64         `json:"id"`
+				Action  string          `json:"action"`
+				TraceID string          `json:"trace_id"`
+				Member  string          `json:"member"`
+				Detail  json.RawMessage `json:"detail"`
+			} `json:"events"`
+			Members int `json:"members"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+			t.Fatal(err)
+		}
+		if merged.Members != 2 {
+			t.Fatalf("/cluster/events answered by %d members, want 2", merged.Members)
+		}
+		if len(merged.Events) != 1 {
+			t.Fatalf("trace %s matched %d cluster events, want exactly 1: %+v", alarmTrace, len(merged.Events), merged.Events)
+		}
+		ev := merged.Events[0]
+		if ev.TraceID != alarmTrace || ev.ID != alarmEventID {
+			t.Fatalf("cluster event (id=%v trace=%s) does not match the check response (id=%v trace=%s)",
+				ev.ID, ev.TraceID, alarmEventID, alarmTrace)
+		}
+		if ev.Action != "alarm" {
+			t.Fatalf("journaled action = %q, want alarm", ev.Action)
+		}
+		if ev.Member != leaderURL && ev.Member != followerURL {
+			t.Fatalf("cluster event attributed to unknown member %q", ev.Member)
+		}
+		var detail struct {
+			Verdict struct {
+				Attribution *struct {
+					Classes []json.RawMessage `json:"classes"`
+				} `json:"attribution"`
+			} `json:"verdict"`
+		}
+		if err := json.Unmarshal(ev.Detail, &detail); err != nil {
+			t.Fatalf("decoding journaled decision detail: %v", err)
+		}
+		if detail.Verdict.Attribution == nil || len(detail.Verdict.Attribution.Classes) == 0 {
+			t.Fatalf("journaled alarm carries no failure attribution: %s", ev.Detail)
+		}
+	}
 
 	// Drive /validate through the gateway until the follower answers
 	// one, then assert the gateway-originated trace ID shows up in the

@@ -22,6 +22,15 @@
 // batch raised an alarm or was quarantined or re-inferred, 2 on usage
 // errors, 3 on operational failures (unreadable index, corpus, or
 // registry).
+//
+// Escalation state (the consecutive-alarm ladder behind
+// -quarantine-after and -reinfer-after) lives in process memory: each
+// avmonitor invocation starts every stream's ladder fresh, so a stream
+// alarming across separate replay runs never escalates past what one
+// run saw — by design for a CLI whose exit code summarizes one run.
+// For escalation that must survive restarts, run avserve with
+// -journal: the service rehydrates each stream's ladder from the audit
+// journal at startup.
 package main
 
 import (

@@ -20,6 +20,8 @@
 //	DELETE /streams/{name}                                           → remove a stream
 //	POST   /streams/{name}/check   {"values": [...]}                 → monitor decision (accept/alarm/quarantine/reinfer)
 //	GET    /streams/{name}/history                                   → rolling batch verdicts + pass-rate EWMA
+//	GET    /streams/{name}/explain                                   → latest alarm's failure attribution (needs -journal)
+//	GET    /events                 cursor-paginated audit journal (needs -journal; filters: stream, kind, trace, since, id, after, limit)
 //	GET    /healthz                index summary (liveness)
 //	GET    /readyz                 200 once servable, 503 while a follower awaits its first snapshot
 //	GET    /stats                  cache and traffic counters (JSON)
@@ -49,6 +51,16 @@
 // avindex -append for durable growth. The stream registry, by
 // contrast, is durable when -registry is set: it is loaded at startup
 // and re-persisted after every stream mutation.
+//
+// With -journal DIR, every monitor escalation (and each state
+// transition back to accept), ingest, replication install, and stream
+// registration/deletion is appended to a segmented, checksummed audit
+// journal in DIR and served back through GET /events — each decision
+// carrying per-value failure attribution (which pattern token the
+// misses died at, with redacted samples). At startup the monitor's
+// per-stream escalation state is rehydrated from the journal tail, so
+// a restart does not reset consecutive-alarm ladders; follow the live
+// feed with avtail.
 package main
 
 import (
@@ -80,6 +92,9 @@ func main() {
 	shards := flag.Int("shards", 0, "reshard the loaded index (0 keeps the persisted shard count)")
 	readonly := flag.Bool("readonly", false, "disable the mutating endpoints (/ingest, stream registration)")
 	regPath := flag.String("registry", "", "stream-rule registry file (loaded at startup, persisted on mutation; empty = in-memory only)")
+	journalDir := flag.String("journal", "", "audit-journal directory for drift forensics (/events, restart rehydration; empty = off)")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 0, "journal segment rotation threshold (0 = 4 MiB)")
+	journalSegments := flag.Int("journal-segments", 0, "journal segments retained, oldest deleted past this (0 = 8)")
 	leader := flag.Bool("leader", false, "serve the /replication endpoints and retain ingest deltas for followers")
 	retain := flag.Int("retain", 64, "delta-chain retention for -leader (followers further behind re-snapshot)")
 	follow := flag.String("follow", "", "leader base URL; run as a read replica (bootstraps from its snapshot, polls deltas, proxies writes)")
@@ -130,6 +145,18 @@ func main() {
 		ReadOnly:  *readonly,
 		Logger:    logger,
 		Tracer:    tracer,
+	}
+	if *journalDir != "" {
+		jrn, err := autovalidate.OpenJournal(*journalDir, autovalidate.JournalOptions{
+			MaxSegmentBytes: *journalSegBytes,
+			MaxSegments:     *journalSegments,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer jrn.Close()
+		cfg.Journal = jrn
+		logger.Info("journal open", "dir", *journalDir, "last_event_id", jrn.LastID())
 	}
 
 	var follower *autovalidate.ClusterFollower

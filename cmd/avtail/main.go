@@ -1,0 +1,268 @@
+// Command avtail follows an Auto-Validate audit journal live: it polls
+// a server's GET /events (or a gateway's GET /cluster/events with
+// -cluster) and prints each new event as it lands — the terminal
+// counterpart to grepping the journal directory after the fact.
+//
+// Usage:
+//
+//	avtail -url http://server:8077                     # follow one member's journal
+//	avtail -url http://gateway:8070 -cluster           # merged cluster timeline
+//	avtail -url ... -stream orders -kind decision      # only one stream's decisions
+//	avtail -url ... -json | jq .                       # NDJSON for machines
+//	avtail -url ... -once                              # print what's there and exit
+//
+// Single-member mode pages with the journal's event-ID cursor
+// (?after=), so nothing is missed between polls. Cluster mode has no
+// composite cursor — member journals number independently — so avtail
+// tracks the highest event ID seen per member and prints only novel
+// events; a member restart that rewinds IDs is detected and the
+// member's cursor reset.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"autovalidate"
+)
+
+func main() {
+	baseURL := flag.String("url", "http://localhost:8077", "server (or, with -cluster, gateway) base URL")
+	cluster := flag.Bool("cluster", false, "follow the gateway's merged /cluster/events instead of one member's /events")
+	stream := flag.String("stream", "", "only events for this stream")
+	kind := flag.String("kind", "", "only events of this kind (decision, reinfer, ingest, delta_apply, snapshot_install, registry_put, registry_delete)")
+	trace := flag.String("trace", "", "only events with this trace ID")
+	jsonOut := flag.Bool("json", false, "print events as NDJSON instead of the human form")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print the current journal contents and exit instead of following")
+	limit := flag.Int("limit", 0, "events per poll (0 = server default)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("avtail", autovalidate.GetBuildInfo())
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	f := follower{
+		client:  &http.Client{Timeout: 15 * time.Second},
+		base:    strings.TrimRight(*baseURL, "/"),
+		cluster: *cluster,
+		stream:  *stream,
+		kind:    *kind,
+		trace:   *trace,
+		jsonOut: *jsonOut,
+		limit:   *limit,
+		seen:    make(map[string]uint64),
+	}
+	for {
+		if err := f.poll(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "avtail:", err)
+			if *once {
+				os.Exit(1)
+			}
+		}
+		if *once {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// tailEvent is the event shape both endpoints serve; Member is set
+// only by /cluster/events.
+type tailEvent struct {
+	ID      uint64          `json:"id"`
+	Time    time.Time       `json:"time"`
+	Kind    string          `json:"kind"`
+	Stream  string          `json:"stream,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
+	Action  string          `json:"action,omitempty"`
+	Detail  json.RawMessage `json:"detail,omitempty"`
+	Member  string          `json:"member,omitempty"`
+}
+
+type tailPage struct {
+	Events       []tailEvent `json:"events"`
+	NextAfter    uint64      `json:"next_after"`
+	MemberErrors []string    `json:"member_errors,omitempty"`
+}
+
+type follower struct {
+	client  *http.Client
+	base    string
+	cluster bool
+	stream  string
+	kind    string
+	trace   string
+	jsonOut bool
+	limit   int
+
+	// after is the single-member cursor; seen the per-member high-water
+	// marks for cluster mode ("" keys single-member mode's warnings).
+	after uint64
+	seen  map[string]uint64
+}
+
+func (f *follower) poll(ctx context.Context) error {
+	q := make([]string, 0, 5)
+	add := func(k, v string) {
+		if v != "" {
+			q = append(q, k+"="+v)
+		}
+	}
+	add("stream", f.stream)
+	add("kind", f.kind)
+	add("trace", f.trace)
+	if f.limit > 0 {
+		add("limit", fmt.Sprint(f.limit))
+	}
+	path := "/events"
+	if f.cluster {
+		path = "/cluster/events"
+	} else if f.after > 0 {
+		add("after", fmt.Sprint(f.after))
+	}
+	u := f.base + path
+	if len(q) > 0 {
+		u += "?" + strings.Join(q, "&")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", u, resp.Status)
+	}
+	var page tailPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("decoding %s: %w", u, err)
+	}
+	for _, warn := range page.MemberErrors {
+		fmt.Fprintln(os.Stderr, "avtail: member unavailable:", warn)
+	}
+	for _, e := range page.Events {
+		if f.novel(e) {
+			f.print(e)
+		}
+	}
+	if !f.cluster && page.NextAfter > f.after {
+		f.after = page.NextAfter
+	}
+	return nil
+}
+
+// novel dedupes cluster polls: member journals number independently,
+// so the high-water mark is tracked per member. An ID below the mark
+// after a member restarted with a fresh journal resets that member's
+// cursor so its new events still show.
+func (f *follower) novel(e tailEvent) bool {
+	if !f.cluster {
+		return true // the ?after= cursor already filtered
+	}
+	high, ok := f.seen[e.Member]
+	if ok && e.ID <= high {
+		if e.ID < high/2 && e.ID <= 1 {
+			f.seen[e.Member] = e.ID // journal rewound: start over
+			return true
+		}
+		return false
+	}
+	f.seen[e.Member] = e.ID
+	return true
+}
+
+func (f *follower) print(e tailEvent) {
+	if f.jsonOut {
+		b, err := json.Marshal(e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avtail:", err)
+			return
+		}
+		fmt.Println(string(b))
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  #%d  %-16s", e.Time.Format(time.RFC3339), e.ID, e.Kind)
+	if e.Stream != "" {
+		fmt.Fprintf(&sb, "  stream=%s", e.Stream)
+	}
+	if e.Action != "" {
+		fmt.Fprintf(&sb, "  action=%s", e.Action)
+	}
+	if e.TraceID != "" {
+		fmt.Fprintf(&sb, "  trace=%s", e.TraceID)
+	}
+	if e.Member != "" {
+		fmt.Fprintf(&sb, "  member=%s", e.Member)
+	}
+	if summary := detailSummary(e); summary != "" {
+		fmt.Fprintf(&sb, "  %s", summary)
+	}
+	fmt.Println(sb.String())
+}
+
+// detailSummary condenses a decision's forensics to one line: counts
+// plus the top failure class, e.g. "50/50 missed: charset@tok1(-) ×48".
+func detailSummary(e tailEvent) string {
+	if e.Kind != "decision" || len(e.Detail) == 0 {
+		return ""
+	}
+	var dec struct {
+		Verdict struct {
+			Total         int `json:"total"`
+			NonConforming int `json:"non_conforming"`
+			Attribution   *struct {
+				Classes []struct {
+					Kind     string `json:"kind"`
+					Token    int    `json:"token"`
+					TokenStr string `json:"token_str"`
+					Count    int    `json:"count"`
+				} `json:"classes"`
+			} `json:"attribution"`
+		} `json:"verdict"`
+		ConsecutiveAlarms int `json:"consecutive_alarms"`
+	}
+	if err := json.Unmarshal(e.Detail, &dec); err != nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d missed", dec.Verdict.NonConforming, dec.Verdict.Total)
+	if dec.ConsecutiveAlarms > 1 {
+		fmt.Fprintf(&sb, " (run of %d)", dec.ConsecutiveAlarms)
+	}
+	if a := dec.Verdict.Attribution; a != nil && len(a.Classes) > 0 {
+		c := a.Classes[0]
+		fmt.Fprintf(&sb, ": %s@tok%d(%s) ×%d", c.Kind, c.Token, c.TokenStr, c.Count)
+	}
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+package cluster
+
+// Cluster-wide event aggregation: the gateway pins each stream to one
+// member by consistent hash, so any single member's journal holds only
+// a slice of the cluster's forensic record. GET /cluster/events fans a
+// journal read out to every member and merge-sorts the results by
+// event time, giving operators one timeline — which stream alarmed,
+// on which member, under which trace — without knowing the ring.
+//
+// Cursors (?after=) are per-member journal IDs and do not compose
+// across members, so the aggregated endpoint paginates by time
+// instead: pass ?since= (RFC3339) and ?limit= to window the merged
+// view, and follow a specific member's /events directly when exact
+// cursor semantics matter.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"autovalidate/internal/journal"
+	"autovalidate/internal/obs"
+)
+
+// ClusterEvent is one member's journal event, annotated with the
+// member that recorded it.
+type ClusterEvent struct {
+	journal.Event
+	Member string `json:"member"`
+}
+
+// ClusterEventsResponse is the merged, time-ordered cluster timeline.
+type ClusterEventsResponse struct {
+	Events []ClusterEvent `json:"events"`
+	// Members counts the members that answered; MemberErrors lists the
+	// ones that did not (their events are missing from this view).
+	Members      int      `json:"members"`
+	MemberErrors []string `json:"member_errors,omitempty"`
+}
+
+// memberEventsPage mirrors the member-side EventsResponse shape.
+type memberEventsPage struct {
+	Events []journal.Event `json:"events"`
+}
+
+// handleClusterEvents serves GET /cluster/events: fan out the journal
+// query to every member, merge-sort by timestamp. The stream, kind,
+// trace, since, and limit query parameters forward verbatim; limit
+// additionally caps the merged result.
+func (g *Gateway) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
+	sp, sc := g.tracer.StartServerSpan(r, "gateway.cluster_events")
+	defer sp.End()
+	sp.SetRoute("GET /cluster/events")
+	w.Header().Set(obs.TraceIDHeader, sc.TraceID.String())
+
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "bad limit: " + v})
+			return
+		}
+		limit = n
+	}
+
+	type result struct {
+		member string
+		page   memberEventsPage
+		err    error
+	}
+	results := make([]result, len(g.members))
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			results[i] = result{member: m.url.String()}
+			u := *m.url
+			u.Path = singleJoin(u.Path, "/events")
+			u.RawQuery = r.URL.RawQuery
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u.String(), nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+			resp, err := g.client.Do(req)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				// A member without a journal answers 404: it simply has no
+				// events to contribute, which is not a fan-in failure.
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != http.StatusNotFound {
+					results[i].err = fmt.Errorf("member %s: %s", m.url, resp.Status)
+				}
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&results[i].page); err != nil {
+				results[i].err = fmt.Errorf("member %s: decoding events: %w", m.url, err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	out := ClusterEventsResponse{Events: []ClusterEvent{}}
+	for _, res := range results {
+		if res.err != nil {
+			out.MemberErrors = append(out.MemberErrors, res.err.Error())
+			sp.SetError(res.err)
+			g.log.Warn("cluster events fan-in member failed", slog.String("error", res.err.Error()))
+			continue
+		}
+		out.Members++
+		for _, e := range res.page.Events {
+			out.Events = append(out.Events, ClusterEvent{Event: e, Member: res.member})
+		}
+	}
+	// One cluster timeline: by timestamp, ties broken by member then
+	// per-member ID so the order is deterministic across refreshes.
+	sort.SliceStable(out.Events, func(a, b int) bool {
+		ea, eb := out.Events[a], out.Events[b]
+		if !ea.Time.Equal(eb.Time) {
+			return ea.Time.Before(eb.Time)
+		}
+		if ea.Member != eb.Member {
+			return ea.Member < eb.Member
+		}
+		return ea.ID < eb.ID
+	})
+	if limit > 0 && len(out.Events) > limit {
+		out.Events = out.Events[:limit]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -228,6 +228,7 @@ func (g *Gateway) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","members":%d}`, len(g.members))
 	})
+	mux.HandleFunc("GET /cluster/events", g.handleClusterEvents)
 	mux.HandleFunc("GET /debug/traces", g.tracer.ServeTraces)
 	mux.HandleFunc("/", g.proxy)
 	return mux

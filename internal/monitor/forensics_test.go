@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAlarmCarriesAttribution: an alarming batch's verdict must name
+// how its misses failed (token, position, class, redacted samples);
+// accepted batches must not pay for (or carry) an attribution.
+func TestAlarmCarriesAttribution(t *testing.T) {
+	e := NewEngine(Policy{})
+	st := stream("s", fourDigitRule(t, 0.001, 0.0001), false)
+
+	dec, err := e.Check(st, batch(100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Verdict.Attribution != nil {
+		t.Errorf("accepted batch carries attribution: %+v", dec.Verdict.Attribution)
+	}
+
+	dec, err = e.Check(st, batch(100, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Verdict.Action == Accept {
+		t.Fatalf("20/100 bad values did not alarm: %+v", dec.Verdict)
+	}
+	attr := dec.Verdict.Attribution
+	if attr == nil {
+		t.Fatal("alarming batch has no attribution")
+	}
+	if attr.Misses != 20 {
+		t.Errorf("attributed %d misses, want 20", attr.Misses)
+	}
+	if len(attr.Classes) == 0 {
+		t.Fatal("attribution has no classes")
+	}
+	top := attr.Classes[0]
+	// batch() uses "XX" as garbage against <digit>{4}: charset death at
+	// byte 0, token 0.
+	if top.Kind != "charset" || top.Token != 0 || top.Pos != 0 {
+		t.Errorf("top class = %+v, want charset token 0 pos 0", top)
+	}
+	if len(top.Samples) == 0 || top.Samples[0] != "XX" {
+		t.Errorf("samples = %v, want redacted XX", top.Samples)
+	}
+
+	// Attribution must ride the Decision's JSON form (the journal and
+	// /streams/{name}/check both persist that).
+	raw, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Decision
+	if err := json.Unmarshal(raw, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Verdict.Attribution == nil || round.Verdict.Attribution.Misses != 20 {
+		t.Errorf("attribution lost in JSON round-trip: %+v", round.Verdict.Attribution)
+	}
+}
+
+// TestTransitionFlag: the first batch and every action change are
+// transitions; a steady accept run is not.
+func TestTransitionFlag(t *testing.T) {
+	e := NewEngine(Policy{})
+	st := stream("s", fourDigitRule(t, 0.001, 0.0001), false)
+
+	check := func(bad int) Decision {
+		t.Helper()
+		dec, err := e.Check(st, batch(100, bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec
+	}
+	if dec := check(0); !dec.Transition {
+		t.Error("first batch must be a transition")
+	}
+	if dec := check(0); dec.Transition {
+		t.Error("second consecutive accept must not be a transition")
+	}
+	if dec := check(20); !dec.Transition || dec.Verdict.Action != Alarm {
+		t.Error("accept→alarm must be a transition")
+	}
+	if dec := check(20); dec.Transition {
+		t.Error("alarm→alarm must not be a transition")
+	}
+	if dec := check(0); !dec.Transition || dec.Verdict.Action != Accept {
+		t.Error("alarm→accept must be a transition")
+	}
+}
+
+// TestRestoreRehydratesEscalation: restoring the last journaled
+// decision must preserve seq, the EWMA, cumulative counters, and —
+// critically — the consecutive-alarm run, so the escalation ladder
+// continues where it left off instead of restarting at rung one.
+func TestRestoreRehydratesEscalation(t *testing.T) {
+	pol := Policy{QuarantineAfter: 3}
+	e := NewEngine(pol)
+	st := stream("s", fourDigitRule(t, 0.001, 0.0001), false)
+
+	var last Decision
+	var err error
+	if _, err = e.Check(st, batch(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if last, err = e.Check(st, batch(100, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.ConsecutiveAlarms != 2 || last.Verdict.Action != Alarm {
+		t.Fatalf("setup: want 2 consecutive alarms, got %+v", last)
+	}
+
+	// Simulate the restart: a fresh engine, rehydrated from the
+	// journaled JSON form of the last decision.
+	raw, err := json.Marshal(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decision
+	if err := json.Unmarshal(raw, &dec); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(pol)
+	e2.Restore("s", dec)
+
+	h, ok := e2.History("s")
+	if !ok {
+		t.Fatal("restored stream has no history")
+	}
+	if h.Batches != 3 || h.ConsecAlarms != 2 || h.Alarms != 2 {
+		t.Errorf("restored history = %+v, want batches=3 consec=2 alarms=2", h)
+	}
+	if h.PassEWMA != last.PassEWMA {
+		t.Errorf("restored EWMA %v != %v", h.PassEWMA, last.PassEWMA)
+	}
+	if got := e2.States()["s"]; got != Alarm {
+		t.Errorf("restored state = %v, want alarm", got)
+	}
+
+	// The third consecutive alarm after the restart must quarantine —
+	// the ladder continued, it did not reset.
+	dec3, err := e2.Check(st, batch(100, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec3.Verdict.Action != Quarantine {
+		t.Errorf("post-restore third alarm = %v, want quarantine", dec3.Verdict.Action)
+	}
+	if dec3.Verdict.Seq != 4 {
+		t.Errorf("post-restore seq = %d, want 4", dec3.Verdict.Seq)
+	}
+}
+
+// TestRestoreLiveStateWins: a Restore arriving after live checks (e.g.
+// a slow journal scan racing real traffic) must not clobber newer
+// state.
+func TestRestoreLiveStateWins(t *testing.T) {
+	e := NewEngine(Policy{})
+	st := stream("s", fourDigitRule(t, 0.001, 0.0001), false)
+	for i := 0; i < 5; i++ {
+		if _, err := e.Check(st, batch(100, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Restore("s", Decision{Verdict: Verdict{Seq: 2, ActionName: "alarm"}, ConsecutiveAlarms: 1})
+	h, _ := e.History("s")
+	if h.Batches != 5 || h.ConsecAlarms != 0 {
+		t.Errorf("stale restore clobbered live state: %+v", h)
+	}
+}

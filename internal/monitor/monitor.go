@@ -66,6 +66,23 @@ func (a Action) String() string {
 	}
 }
 
+// ActionFromName parses an action's string form — the inverse of
+// String, used when rehydrating journaled decisions (whose JSON
+// carries only the name).
+func ActionFromName(s string) (Action, bool) {
+	switch s {
+	case "accept":
+		return Accept, true
+	case "alarm":
+		return Alarm, true
+	case "quarantine":
+		return Quarantine, true
+	case "reinfer":
+		return Reinfer, true
+	}
+	return Accept, false
+}
+
 // Policy configures the escalation behaviour. The zero value is not
 // useful; start from DefaultPolicy.
 type Policy struct {
@@ -143,6 +160,23 @@ type Verdict struct {
 	DomainInvalid     int      `json:"domain_invalid,omitempty"`
 	DomainOnlyInvalid int      `json:"domain_only_invalid,omitempty"`
 	DomainExamples    []string `json:"domain_examples,omitempty"`
+	// Attribution classifies the batch's syntactic misses against the
+	// compiled program — which token/position each miss died at, and a
+	// few redacted sample offenders per class. Populated only when the
+	// batch alarmed: conforming batches don't pay the extra pass.
+	Attribution *validate.Attribution `json:"attribution,omitempty"`
+}
+
+// Totals are a stream's cumulative counters after a batch is folded
+// in — together with the verdict they are everything journal
+// rehydration needs to rebuild the stream's rolling state.
+type Totals struct {
+	Values        int `json:"values"`
+	NonConforming int `json:"non_conforming"`
+	DomainInvalid int `json:"domain_invalid,omitempty"`
+	Alarms        int `json:"alarms"`
+	Quarantined   int `json:"quarantined"`
+	Reinfers      int `json:"reinfers"`
 }
 
 // Decision is the outcome of one Check call: the batch's verdict plus
@@ -156,6 +190,14 @@ type Decision struct {
 	ConsecutiveAlarms int `json:"consecutive_alarms"`
 	// Stale mirrors the stream's staleness at check time.
 	Stale bool `json:"stale"`
+	// Transition is true when this batch changed the stream's state —
+	// its action differs from the previous batch's (or it is the
+	// stream's first). The journal records transitions even on accept,
+	// so an escalation ladder's end is as durable as its start while
+	// steady-state accepts stay off the journal entirely.
+	Transition bool `json:"transition,omitempty"`
+	// Totals are the stream's cumulative counters including this batch.
+	Totals Totals `json:"totals"`
 }
 
 // History is a snapshot of one stream's rolling state.
@@ -339,7 +381,11 @@ func (e *Engine) Check(stream registry.Stream, values []string) (Decision, error
 		}
 	}
 
-	return e.finish(stream, v, rep.Alarm), nil
+	alarmed := e.score(stream, &v, rep.Alarm)
+	if alarmed && v.NonConforming > 0 {
+		v.Attribution = stream.Rule.AttributeStrings(values, validate.MaxAttributionSamples)
+	}
+	return e.fold(stream, v, alarmed), nil
 }
 
 // CheckBytes is Check over a decoded column slab: values are byte views
@@ -387,23 +433,33 @@ func (e *Engine) CheckBytes(stream registry.Stream, values [][]byte) (Decision, 
 		}
 	}
 
-	return e.finish(stream, v, rep.Alarm), nil
+	alarmed := e.score(stream, &v, rep.Alarm)
+	if alarmed && v.NonConforming > 0 {
+		v.Attribution = stream.Rule.Attribute(values, validate.MaxAttributionSamples)
+	}
+	return e.fold(stream, v, alarmed), nil
 }
 
-// finish runs the decode-independent half of a batch check: the
-// binomial drift test over the combined evidence, the escalation
-// decision, and the fold into the stream's rolling history. v carries
-// the batch's counts and examples; alarm is the homogeneity verdict.
-func (e *Engine) finish(stream registry.Stream, v Verdict, alarm bool) Decision {
+// score runs the lock-free statistical half of a batch check: the
+// binomial drift test over the combined evidence, filling the verdict's
+// DriftP/RateLo and reporting whether the batch alarms. Callers that
+// want failure attribution compute it between score and fold — still
+// outside the engine lock, and only for batches that actually alarmed.
+func (e *Engine) score(stream registry.Stream, v *Verdict, alarm bool) bool {
 	bound := fprBound(stream.Rule)
 	evidence := v.NonConforming + v.DomainOnlyInvalid
-	driftP := stats.BinomialTailP(evidence, v.Total, bound)
+	v.DriftP = stats.BinomialTailP(evidence, v.Total, bound)
 	rateLo, _ := stats.ClopperPearson(evidence, v.Total, e.policy.Confidence)
-	v.DriftP = driftP
 	v.RateLo = rateLo
 
 	small := v.Total < e.policy.MinBatch
-	alarmed := !small && (alarm || driftP < e.policy.Alpha)
+	return !small && (alarm || v.DriftP < e.policy.Alpha)
+}
+
+// fold applies the escalation decision and folds the verdict into the
+// stream's rolling history under the engine lock.
+func (e *Engine) fold(stream registry.Stream, v Verdict, alarmed bool) Decision {
+	evidence := v.NonConforming + v.DomainOnlyInvalid
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -455,6 +511,7 @@ func (e *Engine) finish(stream registry.Stream, v Verdict, alarm bool) Decision 
 		st.alarms++
 		st.reinfers++
 	}
+	transition := st.seq == 1 || st.lastAction != v.Action
 	st.lastAction = v.Action
 	st.push(v, e.policy.Window)
 
@@ -463,7 +520,61 @@ func (e *Engine) finish(stream registry.Stream, v Verdict, alarm bool) Decision 
 		PassEWMA:          st.ewma,
 		ConsecutiveAlarms: st.consec,
 		Stale:             stream.Stale,
+		Transition:        transition,
+		Totals: Totals{
+			Values:        st.values,
+			NonConforming: st.nonConforming,
+			DomainInvalid: st.domainInvalid,
+			Alarms:        st.alarms,
+			Quarantined:   st.quarantined,
+			Reinfers:      st.reinfers,
+		},
 	}
+}
+
+// Restore seeds a stream's rolling state from a previously journaled
+// decision — the startup rehydration path, so a process restart does
+// not reset escalation ladders or the pass-rate EWMA. It is a no-op
+// when the stream already holds live state at or past the decision's
+// sequence number (live history always wins over the journal tail).
+//
+// The restored window holds only the journaled verdict: steady-state
+// accepts are deliberately not journaled, so the intermediate window
+// contents are gone. Escalation correctness needs only seq, the EWMA,
+// the consecutive-alarm run, and the cumulative counters — all carried
+// by the decision.
+func (e *Engine) Restore(name string, dec Decision) {
+	v := dec.Verdict
+	if v.Seq <= 0 {
+		return
+	}
+	if act, ok := ActionFromName(v.ActionName); ok {
+		v.Action = act
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.streams[name]
+	if st != nil && st.seq >= v.Seq {
+		return
+	}
+	if st == nil {
+		st = &streamState{}
+		e.streams[name] = st
+	}
+	st.seq = v.Seq
+	st.values = dec.Totals.Values
+	st.nonConforming = dec.Totals.NonConforming
+	st.domainInvalid = dec.Totals.DomainInvalid
+	st.alarms = dec.Totals.Alarms
+	st.quarantined = dec.Totals.Quarantined
+	st.reinfers = dec.Totals.Reinfers
+	st.ewma = dec.PassEWMA
+	st.consec = dec.ConsecutiveAlarms
+	st.lastAction = v.Action
+	st.ring = st.ring[:0]
+	st.head = 0
+	st.filled = false
+	st.push(v, e.policy.Window)
 }
 
 // Reset drops the rolling state of one stream — called when its rule is

@@ -63,6 +63,12 @@ type compiler struct {
 	insts   []inst
 	preds   []byteSet
 	predIdx map[byteSet]uint16
+	// tok parallels insts: the pattern-token index each instruction was
+	// emitted for. Failure attribution (Program.Explain) maps the point
+	// where matching died back to the token the matcher was consuming;
+	// the final opMatch carries the one-past-the-end index.
+	tok []uint16
+	cur uint16
 }
 
 func (c *compiler) pred(s byteSet) uint16 {
@@ -77,19 +83,24 @@ func (c *compiler) pred(s byteSet) uint16 {
 
 func (c *compiler) pc() int32 { return int32(len(c.insts)) }
 
+func (c *compiler) emit(in inst) {
+	c.insts = append(c.insts, in)
+	c.tok = append(c.tok, c.cur)
+}
+
 func (c *compiler) emitByte(pred uint16) {
-	c.insts = append(c.insts, inst{op: opByte, pred: pred})
+	c.emit(inst{op: opByte, pred: pred})
 }
 
 // emitSplit emits a split with both targets unset; the caller patches
 // x and y.
 func (c *compiler) emitSplit() int32 {
-	c.insts = append(c.insts, inst{op: opSplit})
+	c.emit(inst{op: opSplit})
 	return c.pc() - 1
 }
 
 func (c *compiler) emitJmp() int32 {
-	c.insts = append(c.insts, inst{op: opJmp})
+	c.emit(inst{op: opJmp})
 	return c.pc() - 1
 }
 
@@ -108,11 +119,13 @@ func Compile(p Pattern) *Program {
 // top.
 func compileNFA(p Pattern) *Program {
 	c := &compiler{predIdx: make(map[byteSet]uint16)}
-	for _, t := range p.Toks {
+	for i, t := range p.Toks {
+		c.cur = uint16(i)
 		c.token(t)
 	}
-	c.insts = append(c.insts, inst{op: opMatch})
-	return &Program{insts: c.insts, preds: c.preds}
+	c.cur = uint16(len(p.Toks)) // end-of-pattern marker for opMatch
+	c.emit(inst{op: opMatch})
+	return &Program{insts: c.insts, preds: c.preds, tokOf: c.tok, numToks: len(p.Toks)}
 }
 
 func (c *compiler) token(t Tok) {
@@ -314,13 +327,27 @@ func determinize(p *Program) *dfaTable {
 
 	d.next = make([]int32, len(states)*d.numSym)
 	d.accept = make([]bool, len(states))
+	d.stateTok = make([]uint16, len(states))
+	d.stateHasByte = make([]bool, len(states))
 	for si, row := range trans {
 		copy(d.next[si*d.numSym:], row)
+		// stateTok is the earliest pattern token any live byte instruction
+		// of this state belongs to — the token the matcher is consuming
+		// when it sits here. A state with no byte instructions can only
+		// accept; its token is the end-of-pattern marker.
+		minTok := uint16(p.numToks)
 		for _, pc := range states[si] {
-			if p.insts[pc].op == opMatch {
+			switch p.insts[pc].op {
+			case opMatch:
 				d.accept[si] = true
+			case opByte:
+				d.stateHasByte[si] = true
+				if t := p.tokOf[pc]; t < minTok {
+					minTok = t
+				}
 			}
 		}
+		d.stateTok[si] = minTok
 	}
 	if len(states) <= maxFlatStates {
 		// Widen to a byte-indexed table: one load per input byte in the

@@ -1,0 +1,125 @@
+package pattern
+
+// Failure attribution: given a value that does not match, report where
+// the automaton died and which pattern token it was trying to consume.
+// This is the forensic counterpart of Match — it runs only on values
+// already known to miss (alarm triage, /streams/{name}/explain), so it
+// favors precision over speed and never touches the batch hot path.
+
+// MissKind classifies why a value failed to match.
+type MissKind string
+
+const (
+	// MissCharset: the value diverged from the pattern mid-token — the
+	// byte at Pos is outside every character class the automaton could
+	// consume there.
+	MissCharset MissKind = "charset"
+	// MissLength: every byte fit its token but the value's length is
+	// wrong — it ended before the pattern was satisfied (Pos == len) or
+	// continued past a state that could only accept (trailing excess).
+	MissLength MissKind = "length"
+)
+
+// Miss locates one non-matching value's point of failure.
+type Miss struct {
+	// Pos is the byte offset where matching died; len(value) when the
+	// value ran out before the pattern did.
+	Pos int
+	// Token is the 0-based index of the pattern token being consumed at
+	// the failure point; the pattern's token count means "past the end"
+	// (the value extended beyond a complete match).
+	Token int
+	// Kind is the failure class.
+	Kind MissKind
+}
+
+// Explain reports why b does not match: the failing byte position, the
+// pattern token the automaton was consuming, and whether the mismatch
+// is a character-class divergence or a length problem. ok is true (and
+// the Miss zero) when b actually matches.
+func (p *Program) Explain(b []byte) (miss Miss, ok bool) {
+	if p.dfa != nil {
+		return p.explainDFA(b)
+	}
+	return p.explainNFA(b)
+}
+
+// explainDFA walks the compressed-alphabet table (always present in DFA
+// mode), keeping the pre-transition state so a death can be attributed.
+func (p *Program) explainDFA(b []byte) (Miss, bool) {
+	d := p.dfa
+	st := int32(0)
+	numSym := int32(d.numSym)
+	for i := 0; i < len(b); i++ {
+		nxt := d.next[st*numSym+int32(d.symtab[b[i]])]
+		if nxt < 0 {
+			if !d.stateHasByte[st] {
+				// The state could only accept: everything up to i was a
+				// complete match and b[i:] is trailing excess.
+				return Miss{Pos: i, Token: p.numToks, Kind: MissLength}, false
+			}
+			return Miss{Pos: i, Token: int(d.stateTok[st]), Kind: MissCharset}, false
+		}
+		st = nxt
+	}
+	if d.accept[st] {
+		return Miss{}, true
+	}
+	return Miss{Pos: len(b), Token: int(d.stateTok[st]), Kind: MissLength}, false
+}
+
+// explainNFA is the pike-VM form: the run list before consuming the
+// failing byte plays the role of the DFA state.
+func (p *Program) explainNFA(b []byte) (Miss, bool) {
+	s := p.scratch()
+	defer p.pool.Put(s)
+	steps := 0
+	s.bump()
+	cur := p.addClosure(s.cur[:0], 0, s, &steps)
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		s.bump()
+		nxt := s.next[:0]
+		for _, pc := range cur {
+			in := &p.insts[pc]
+			if in.op == opByte && p.preds[in.pred].has(c) {
+				nxt = p.addClosure(nxt, pc+1, s, &steps)
+			}
+		}
+		if len(nxt) == 0 {
+			tok, hasByte := p.listToken(cur)
+			s.cur, s.next = nxt, cur
+			if !hasByte {
+				return Miss{Pos: i, Token: p.numToks, Kind: MissLength}, false
+			}
+			return Miss{Pos: i, Token: tok, Kind: MissCharset}, false
+		}
+		s.cur, s.next = nxt, cur
+		cur = nxt
+	}
+	for _, pc := range cur {
+		if p.insts[pc].op == opMatch {
+			s.cur = cur
+			return Miss{}, true
+		}
+	}
+	tok, _ := p.listToken(cur)
+	s.cur = cur
+	return Miss{Pos: len(b), Token: tok, Kind: MissLength}, false
+}
+
+// listToken returns the earliest pattern token among a run list's byte
+// instructions, and whether the list can consume at all.
+func (p *Program) listToken(list []int32) (int, bool) {
+	minTok := p.numToks
+	hasByte := false
+	for _, pc := range list {
+		if p.insts[pc].op == opByte {
+			hasByte = true
+			if t := int(p.tokOf[pc]); t < minTok {
+				minTok = t
+			}
+		}
+	}
+	return minTok, hasByte
+}

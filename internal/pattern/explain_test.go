@@ -1,0 +1,104 @@
+package pattern
+
+import "testing"
+
+func explainProg(t *testing.T, pat string, nfa bool) *Program {
+	t.Helper()
+	p, err := Parse(pat)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", pat, err)
+	}
+	if nfa {
+		return compileNFA(p)
+	}
+	prog := Compile(p)
+	if prog.dfa == nil {
+		t.Fatalf("pattern %q did not determinize; test expects DFA mode", pat)
+	}
+	return prog
+}
+
+func TestExplainAttribution(t *testing.T) {
+	const datePat = "<digit>{4}-<digit>{2}-<digit>{2}"
+	cases := []struct {
+		name    string
+		pattern string
+		value   string
+		wantOK  bool
+		want    Miss
+	}{
+		{"match", datePat, "2026-08-08", true, Miss{}},
+		{"charset mid token", datePat, "20a6-08-08", false, Miss{Pos: 2, Token: 0, Kind: MissCharset}},
+		{"charset at separator", datePat, "2026/08-08", false, Miss{Pos: 4, Token: 1, Kind: MissCharset}},
+		{"charset in later token", datePat, "2026-08-0x", false, Miss{Pos: 9, Token: 4, Kind: MissCharset}},
+		{"too short", datePat, "2026-08", false, Miss{Pos: 7, Token: 3, Kind: MissLength}},
+		{"too long", datePat, "2026-08-088", false, Miss{Pos: 10, Token: 5, Kind: MissLength}},
+		{"empty value", datePat, "", false, Miss{Pos: 0, Token: 0, Kind: MissLength}},
+		{"unbounded run then garbage", "<digit>+", "123a", false, Miss{Pos: 3, Token: 0, Kind: MissCharset}},
+		{"letters where digits expected", "<digit>+", "abc", false, Miss{Pos: 0, Token: 0, Kind: MissCharset}},
+	}
+	for _, mode := range []struct {
+		name string
+		nfa  bool
+	}{{"dfa", false}, {"nfa", true}} {
+		for _, tc := range cases {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				prog := explainProg(t, tc.pattern, mode.nfa)
+				miss, ok := prog.Explain([]byte(tc.value))
+				if ok != tc.wantOK {
+					t.Fatalf("Explain(%q) ok=%v, want %v (miss=%+v)", tc.value, ok, tc.wantOK, miss)
+				}
+				if ok {
+					return
+				}
+				if miss != tc.want {
+					t.Errorf("Explain(%q) = %+v, want %+v", tc.value, miss, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// TestExplainAgreesWithMatch property-checks that Explain's verdict
+// always agrees with the matcher itself, and that reported positions
+// stay in range, across both engines.
+func TestExplainAgreesWithMatch(t *testing.T) {
+	patterns := []string{
+		"<digit>{4}-<digit>{2}-<digit>{2}",
+		"<letter>+@<letter>+.<letter>{2,3}",
+		"<digit>+",
+		"ID-<alnum>{3,8}",
+	}
+	values := []string{
+		"", "2026-08-08", "2026-08-0", "2026-08-088", "x@y.com", "ID-abc12",
+		"ID-", "ID-abc123456", "a@b.c", "@", "9999-99-99 ", " 2026-01-01",
+		"ID-ABC", "12345", "12.34", "--",
+	}
+	for _, pat := range patterns {
+		p, err := Parse(pat)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", pat, err)
+		}
+		for _, prog := range []*Program{Compile(p), compileNFA(p)} {
+			for _, v := range values {
+				b := []byte(v)
+				miss, ok := prog.Explain(b)
+				if ok != prog.Match(b) {
+					t.Errorf("%s (%s): Explain(%q) ok=%v disagrees with Match", pat, prog.Mode(), v, ok)
+				}
+				if ok {
+					continue
+				}
+				if miss.Pos < 0 || miss.Pos > len(v) {
+					t.Errorf("%s (%s): Explain(%q) pos %d out of range", pat, prog.Mode(), v, miss.Pos)
+				}
+				if miss.Token < 0 || miss.Token > len(p.Toks) {
+					t.Errorf("%s (%s): Explain(%q) token %d out of range", pat, prog.Mode(), v, miss.Token)
+				}
+				if miss.Kind != MissCharset && miss.Kind != MissLength {
+					t.Errorf("%s (%s): Explain(%q) bad kind %q", pat, prog.Mode(), v, miss.Kind)
+				}
+			}
+		}
+	}
+}

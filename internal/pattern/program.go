@@ -50,8 +50,13 @@ type inst struct {
 type Program struct {
 	insts []inst
 	preds []byteSet
-	dfa   *dfaTable // nil when the pattern did not lower to a DFA
-	pool  sync.Pool // *nfaScratch sized to this program
+	// tokOf parallels insts with the pattern-token index each
+	// instruction was emitted for; numToks is the pattern's token count.
+	// Both serve failure attribution (Explain), not matching.
+	tokOf   []uint16
+	numToks int
+	dfa     *dfaTable // nil when the pattern did not lower to a DFA
+	pool    sync.Pool // *nfaScratch sized to this program
 }
 
 // dfaTable is the determinized form: a dense transition table over the
@@ -70,6 +75,12 @@ type dfaTable struct {
 	// itself, and flatAccept has one extra false entry for it.
 	flat       []uint32
 	flatAccept []bool
+	// stateTok and stateHasByte attribute failures: the earliest pattern
+	// token a state's live byte instructions belong to, and whether the
+	// state can consume at all (false = accept-only, any further byte is
+	// trailing excess). Explain-only; the match loops never touch them.
+	stateTok     []uint16
+	stateHasByte []bool
 }
 
 // Mode reports how values are matched: "dfa" for the single-pass table

@@ -1,0 +1,249 @@
+package service
+
+// Drift forensics endpoints: GET /events pages through the server's
+// audit journal (monitor decisions with failure attribution, ingests,
+// replication installs, registry mutations), and GET
+// /streams/{name}/explain answers the triage question directly — what
+// did the latest alarm look like, token by token. Both routes exist
+// even when the journal is disabled (so the endpoint counters in
+// /metrics are stable across configurations); they answer 404 with a
+// pointer at the -journal flag.
+//
+// Journal appends never fail a request: the journal is an
+// observability surface, and a full disk under it should degrade to a
+// warning log, not a 500 on the ingest path.
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"autovalidate/internal/journal"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/obs"
+)
+
+// explainScanLimit bounds the journal scan behind /streams/{name}/
+// explain and startup rehydration. Retention bounds the journal well
+// below this in any sane configuration.
+const explainScanLimit = 100_000
+
+// Journal returns the server's audit journal (nil when disabled) — the
+// cmd binaries use it for shutdown closing and diagnostics.
+func (s *Server) Journal() *journal.Journal { return s.journal }
+
+// journalEvent appends one event, stamping the request's trace ID when
+// the event does not carry one. Returns the assigned event ID, or 0
+// when the journal is disabled or the append failed (failures are
+// logged and swallowed — forensics must not take down the write path).
+func (s *Server) journalEvent(ctx context.Context, e journal.Event) uint64 {
+	if s.journal == nil {
+		return 0
+	}
+	if e.TraceID == "" {
+		e.TraceID = obs.TraceIDFrom(ctx)
+	}
+	id, err := s.journal.Append(e)
+	if err != nil {
+		s.log.Warn("journal append failed",
+			slog.String("kind", string(e.Kind)),
+			slog.String("stream", e.Stream),
+			slog.String("error", err.Error()))
+		return 0
+	}
+	return id
+}
+
+// mustDetail encodes a small ad-hoc detail object (maps of strings and
+// numbers cannot fail to marshal; nil on the impossible error).
+func mustDetail(v map[string]any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// journalDecision records a checked batch's decision when it is worth
+// remembering: any non-accept action, or a state transition (including
+// the recovery back to accept, so an incident's end is as durable as
+// its start). Steady-state accepts — the overwhelmingly common case —
+// take only the branch; nothing is marshalled and nothing allocates.
+func (s *Server) journalDecision(ctx context.Context, name string, dec monitor.Decision) uint64 {
+	if s.journal == nil {
+		return 0
+	}
+	if dec.Verdict.Action == monitor.Accept && !dec.Transition {
+		return 0
+	}
+	detail, err := json.Marshal(dec)
+	if err != nil {
+		s.log.Warn("journal decision encode failed",
+			slog.String("stream", name), slog.String("error", err.Error()))
+		return 0
+	}
+	return s.journalEvent(ctx, journal.Event{
+		Kind:   journal.KindDecision,
+		Stream: name,
+		Action: dec.Verdict.ActionName,
+		Detail: detail,
+	})
+}
+
+// rehydrateFromJournal reseeds the monitor's per-stream rolling state
+// from each stream's latest journaled decision, so a process restart
+// does not reset escalation ladders or the pass-rate EWMA. Only
+// streams still registered, and only decisions made against the
+// stream's current rule version, are restored — history under a
+// replaced rule says nothing about its successor.
+func (s *Server) rehydrateFromJournal() {
+	evs, err := s.journal.Events(journal.Filter{Kind: journal.KindDecision, Limit: explainScanLimit})
+	if err != nil {
+		s.log.Warn("journal rehydration scan failed", slog.String("error", err.Error()))
+		return
+	}
+	latest := make(map[string]journal.Event)
+	for _, e := range evs { // oldest first: the last write per stream wins
+		latest[e.Stream] = e
+	}
+	restored := 0
+	for name, e := range latest {
+		st, ok := s.registry.Get(name)
+		if !ok {
+			continue
+		}
+		var dec monitor.Decision
+		if err := json.Unmarshal(e.Detail, &dec); err != nil {
+			continue
+		}
+		if dec.Verdict.StreamVersion != st.Version {
+			continue
+		}
+		s.mon.Restore(name, dec)
+		restored++
+	}
+	if restored > 0 {
+		s.log.Info("monitor state rehydrated from journal",
+			slog.Int("streams", restored),
+			slog.Uint64("journal_last_id", s.journal.LastID()))
+	}
+}
+
+// EventsResponse is one page of the audit journal, oldest first.
+type EventsResponse struct {
+	Events []journal.Event `json:"events"`
+	// NextAfter is the cursor for the next page (pass as ?after=); it
+	// equals the last returned event's ID, or the request's cursor when
+	// the page is empty.
+	NextAfter uint64 `json:"next_after"`
+}
+
+// handleEvents serves GET /events: cursor-paginated journal reads
+// filterable by stream, kind, trace ID, time, and exact event ID.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, r, http.StatusNotFound, "journal not configured (start the server with -journal)")
+		return
+	}
+	q := r.URL.Query()
+	f := journal.Filter{
+		Stream:  q.Get("stream"),
+		Kind:    journal.Kind(q.Get("kind")),
+		TraceID: q.Get("trace"),
+	}
+	var err error
+	if v := q.Get("after"); v != "" {
+		if f.AfterID, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeError(w, r, http.StatusBadRequest, "bad after cursor: "+v)
+			return
+		}
+	}
+	if v := q.Get("id"); v != "" {
+		if f.ID, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeError(w, r, http.StatusBadRequest, "bad id: "+v)
+			return
+		}
+	}
+	if v := q.Get("since"); v != "" {
+		if f.Since, err = time.Parse(time.RFC3339, v); err != nil {
+			writeError(w, r, http.StatusBadRequest, "bad since (want RFC3339): "+v)
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, r, http.StatusBadRequest, "bad limit: "+v)
+			return
+		}
+		f.Limit = n
+	}
+	evs, err := s.journal.Events(f)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, "reading journal: "+err.Error())
+		return
+	}
+	next := f.AfterID
+	if len(evs) > 0 {
+		next = evs[len(evs)-1].ID
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: evs, NextAfter: next})
+}
+
+// StreamExplainResponse is the latest alarming decision for a stream,
+// with its failure attribution — the operator's "why did this stream
+// go red" answer.
+type StreamExplainResponse struct {
+	Stream string `json:"stream"`
+	// EventID and TraceID locate the decision in /events and in request
+	// logs; Time is when it was journaled.
+	EventID  uint64           `json:"event_id"`
+	Time     time.Time        `json:"time"`
+	TraceID  string           `json:"trace_id,omitempty"`
+	Decision monitor.Decision `json:"decision"`
+}
+
+// handleStreamExplain serves GET /streams/{name}/explain: the
+// stream's most recent non-accept decision from the journal, which
+// carries the per-value failure attribution recorded at alarm time.
+func (s *Server) handleStreamExplain(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, r, http.StatusNotFound, "journal not configured (start the server with -journal)")
+		return
+	}
+	name := r.PathValue("name")
+	if s.registry.Versions(name) == 0 {
+		writeError(w, r, http.StatusNotFound, "unknown stream "+strconv.Quote(name))
+		return
+	}
+	evs, err := s.journal.Events(journal.Filter{
+		Stream: name, Kind: journal.KindDecision, Limit: explainScanLimit,
+	})
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, "reading journal: "+err.Error())
+		return
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		e := evs[i]
+		if e.Action == monitor.Accept.String() {
+			continue
+		}
+		var dec monitor.Decision
+		if err := json.Unmarshal(e.Detail, &dec); err != nil {
+			continue
+		}
+		writeJSON(w, http.StatusOK, StreamExplainResponse{
+			Stream:   name,
+			EventID:  e.ID,
+			Time:     e.Time,
+			TraceID:  e.TraceID,
+			Decision: dec,
+		})
+		return
+	}
+	writeError(w, r, http.StatusNotFound,
+		"stream "+strconv.Quote(name)+" has no journaled alarm to explain")
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"autovalidate/internal/core"
+	"autovalidate/internal/journal"
+	"autovalidate/internal/monitor"
+	"autovalidate/internal/registry"
+)
+
+// journaledServer builds a server with forensics enabled: a journal in
+// dir and (when regPath is non-empty) a persistent registry, so the
+// pair can be "restarted" by building a second server over the same
+// paths.
+func journaledServer(t *testing.T, dir, regPath string) *Server {
+	t.Helper()
+	jrn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jrn.Close() })
+	opt := core.DefaultOptions()
+	opt.M = 5
+	reg := registry.New()
+	if regPath != "" {
+		if loaded, err := registry.Load(regPath); err == nil {
+			reg = loaded
+		}
+	}
+	srv, err := New(Config{
+		Index:        testIndex(t),
+		Options:      &opt,
+		CacheSize:    16,
+		Journal:      jrn,
+		Registry:     reg,
+		RegistryPath: regPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// putStream registers a stream over HTTP and fails the test on error.
+func putStream(t *testing.T, ts *httptest.Server, name string, train []string) {
+	t.Helper()
+	body, err := json.Marshal(StreamPutRequest{Train: train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/streams/"+name, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /streams/%s: status %d", name, resp.StatusCode)
+	}
+}
+
+// getJSON decodes a GET endpoint's JSON body and returns the status.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// garbage returns a batch no timestamp-ish rule will accept.
+func garbage(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("!!drift-%d!!", i)
+	}
+	return out
+}
+
+// TestEventsEndpointRecordsDecisions drives a register → accept →
+// alarm sequence and checks the journal's HTTP face: the registration
+// and both transitions are served by /events, filters and the cursor
+// behave, and the check response's event_id round-trips through
+// /events?id=.
+func TestEventsEndpointRecordsDecisions(t *testing.T) {
+	dir := t.TempDir()
+	srv := journaledServer(t, filepath.Join(dir, "journal"), "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	train := trainValues(t, "timestamp_us", 100, 3)
+	putStream(t, ts, "ev", train)
+
+	var accept StreamCheckResponse
+	if code := post(t, ts, "/streams/ev/check", StreamCheckRequest{Values: trainValues(t, "timestamp_us", 100, 4)}, &accept); code != http.StatusOK {
+		t.Fatalf("accept check: status %d", code)
+	}
+	if accept.EventID == 0 {
+		t.Error("first (transition) accept has no event_id")
+	}
+
+	var alarm StreamCheckResponse
+	if code := post(t, ts, "/streams/ev/check", StreamCheckRequest{Values: garbage(50)}, &alarm); code != http.StatusOK {
+		t.Fatalf("alarm check: status %d", code)
+	}
+	if alarm.Decision.Verdict.ActionName == "accept" {
+		t.Fatalf("garbage batch accepted: %+v", alarm.Decision.Verdict)
+	}
+	if alarm.EventID == 0 {
+		t.Fatal("alarming check has no event_id")
+	}
+
+	var page EventsResponse
+	if code := getJSON(t, ts, "/events", &page); code != http.StatusOK {
+		t.Fatalf("/events: status %d", code)
+	}
+	// registry_put + transition accept + alarm, oldest first.
+	if len(page.Events) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(page.Events), page.Events)
+	}
+	if page.Events[0].Kind != journal.KindRegistryPut || page.Events[1].Action != "accept" || page.Events[2].Action != "alarm" {
+		t.Errorf("unexpected event sequence: %+v", page.Events)
+	}
+	if page.NextAfter != page.Events[2].ID {
+		t.Errorf("cursor %d != last event %d", page.NextAfter, page.Events[2].ID)
+	}
+
+	var filtered EventsResponse
+	getJSON(t, ts, "/events?kind=decision&stream=ev", &filtered)
+	if len(filtered.Events) != 2 {
+		t.Errorf("decision filter: got %d events, want 2", len(filtered.Events))
+	}
+	var byID EventsResponse
+	getJSON(t, ts, fmt.Sprintf("/events?id=%d", alarm.EventID), &byID)
+	if len(byID.Events) != 1 || byID.Events[0].Action != "alarm" {
+		t.Errorf("/events?id=%d: %+v", alarm.EventID, byID.Events)
+	}
+	var paged EventsResponse
+	getJSON(t, ts, fmt.Sprintf("/events?after=%d", page.Events[0].ID), &paged)
+	if len(paged.Events) != 2 || paged.Events[0].ID != page.Events[1].ID {
+		t.Errorf("cursor page: %+v", paged.Events)
+	}
+	if code := getJSON(t, ts, "/events?after=bogus", nil); code != http.StatusBadRequest {
+		t.Errorf("bad cursor: status %d, want 400", code)
+	}
+}
+
+// TestAlarmSurvivesRestartWithAttribution is the acceptance walk: an
+// alarm produced before a process restart is still visible via GET
+// /events afterwards — with per-value failure attribution — the
+// explain endpoint serves it, and the monitor's escalation ladder
+// continues from the journaled state instead of resetting.
+func TestAlarmSurvivesRestartWithAttribution(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	regPath := filepath.Join(dir, "registry.avreg")
+
+	srv1 := journaledServer(t, jdir, regPath)
+	ts1 := httptest.NewServer(srv1.Handler())
+	train := trainValues(t, "timestamp_us", 100, 3)
+	putStream(t, ts1, "restart", train)
+	var alarm StreamCheckResponse
+	if code := post(t, ts1, "/streams/restart/check", StreamCheckRequest{Values: garbage(50)}, &alarm); code != http.StatusOK {
+		t.Fatalf("alarm check: status %d", code)
+	}
+	if alarm.Decision.Verdict.ActionName == "accept" {
+		t.Fatalf("garbage batch accepted: %+v", alarm.Decision.Verdict)
+	}
+	if alarm.Decision.Verdict.Attribution == nil {
+		t.Fatal("alarm decision has no attribution")
+	}
+	consecBefore := alarm.Decision.ConsecutiveAlarms
+	ts1.Close()
+	if err := srv1.Journal().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same journal and registry.
+	srv2 := journaledServer(t, jdir, regPath)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	var page EventsResponse
+	if code := getJSON(t, ts2, "/events?kind=decision&stream=restart", &page); code != http.StatusOK {
+		t.Fatalf("/events after restart: status %d", code)
+	}
+	if len(page.Events) == 0 {
+		t.Fatal("journaled alarm lost across restart")
+	}
+	last := page.Events[len(page.Events)-1]
+	var dec monitor.Decision
+	if err := json.Unmarshal(last.Detail, &dec); err != nil {
+		t.Fatal(err)
+	}
+	attr := dec.Verdict.Attribution
+	if attr == nil || len(attr.Classes) == 0 {
+		t.Fatalf("restored alarm has no attribution: %+v", dec.Verdict)
+	}
+	top := attr.Classes[0]
+	if top.Kind == "" || top.Count == 0 || len(top.Samples) == 0 {
+		t.Errorf("attribution class incomplete: %+v", top)
+	}
+
+	var exp StreamExplainResponse
+	if code := getJSON(t, ts2, "/streams/restart/explain", &exp); code != http.StatusOK {
+		t.Fatalf("/streams/restart/explain: status %d", code)
+	}
+	if exp.EventID != last.ID || exp.Decision.Verdict.Attribution == nil {
+		t.Errorf("explain = event %d attribution %v, want event %d with attribution",
+			exp.EventID, exp.Decision.Verdict.Attribution, last.ID)
+	}
+
+	// Rehydration: the next alarming batch continues the run.
+	var alarm2 StreamCheckResponse
+	if code := post(t, ts2, "/streams/restart/check", StreamCheckRequest{Values: garbage(50)}, &alarm2); code != http.StatusOK {
+		t.Fatalf("post-restart check: status %d", code)
+	}
+	if alarm2.Decision.ConsecutiveAlarms != consecBefore+1 {
+		t.Errorf("post-restart consecutive alarms = %d, want %d (ladder reset by restart)",
+			alarm2.Decision.ConsecutiveAlarms, consecBefore+1)
+	}
+	if alarm2.Decision.Verdict.Seq != alarm.Decision.Verdict.Seq+1 {
+		t.Errorf("post-restart seq = %d, want %d", alarm2.Decision.Verdict.Seq, alarm.Decision.Verdict.Seq+1)
+	}
+}
+
+// TestEventsDisabledAnswers404 keeps the no-journal configuration
+// honest: the routes exist (metrics stay stable) but answer 404 with a
+// pointer at the -journal flag.
+func TestEventsDisabledAnswers404(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, 4).Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts, "/events", nil); code != http.StatusNotFound {
+		t.Errorf("/events without journal: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts, "/streams/x/explain", nil); code != http.StatusNotFound {
+		t.Errorf("/streams/x/explain without journal: status %d, want 404", code)
+	}
+}

@@ -88,7 +88,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Per-stream monitor state: the most recent decision as a 0/1 gauge
 	// over the four actions, so quarantines and re-inference escalations
 	// are visible to a scrape without querying each stream's history.
+	// Filtered against the registry: a check racing a DELETE can
+	// recreate monitor state for a stream that no longer exists, and an
+	// unregistered stream's series must not linger in the exposition.
 	states := s.mon.States()
+	for name := range states {
+		if s.registry.Versions(name) == 0 {
+			delete(states, name)
+		}
+	}
 	if len(states) > 0 {
 		streams := make([]string, 0, len(states))
 		for name := range states {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"autovalidate/internal/core"
+	"autovalidate/internal/monitor"
 	"autovalidate/internal/obs"
 	"autovalidate/internal/obs/promtest"
 	"autovalidate/internal/validate"
@@ -159,6 +160,110 @@ func TestMetricsExpositionValidUnderTraffic(t *testing.T) {
 			return
 		default:
 		}
+	}
+}
+
+// TestStreamStateGaugeDroppedOnDelete: DELETE /streams/{name} must
+// drop the stream's autovalidate_stream_state series from /metrics —
+// including when a check that loaded its stream snapshot before the
+// delete lands afterwards and resurrects monitor state for the
+// now-unregistered name.
+func TestStreamStateGaugeDroppedOnDelete(t *testing.T) {
+	srv := testServer(t, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	train := trainValues(t, "guid", 80, 9)
+	putStream(t, ts, "doomed", train)
+	if code := post(t, ts, "/streams/doomed/check", StreamCheckRequest{Values: trainValues(t, "guid", 40, 10)}, nil); code != http.StatusOK {
+		t.Fatalf("check: status %d", code)
+	}
+	if body := scrape(t, ts); !strings.Contains(body, `autovalidate_stream_state{stream="doomed",state="accept"} 1`) {
+		t.Fatalf("stream_state series missing before delete:\n%s", body)
+	}
+
+	// An in-flight check holds its registry snapshot across the delete.
+	snapshot, ok := srv.Registry().Get("doomed")
+	if !ok {
+		t.Fatal("stream not registered")
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/streams/doomed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	// The stale check lands after the delete's monitor reset, recreating
+	// rolling state for a stream the registry no longer knows.
+	if _, err := srv.Monitor().Check(snapshot, trainValues(t, "guid", 40, 11)); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrape(t, ts)
+	if strings.Contains(body, `stream="doomed"`) {
+		t.Errorf("deleted stream still exposed in /metrics:\n%s", body)
+	}
+	if errs := promtest.Lint(body); len(errs) != 0 {
+		t.Errorf("exposition lint after delete: %v", errs)
+	}
+}
+
+// TestJournalZeroAllocsOnAcceptFastPath is the forensics acceptance
+// bound: with the journal enabled, a steady-state accepting batch —
+// no transition, nothing to journal — must not allocate on the
+// decision path. The journal skip is a branch, not a marshal.
+func TestJournalZeroAllocsOnAcceptFastPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop puts; alloc counts are meaningless")
+	}
+	dir := t.TempDir()
+	srv := journaledServer(t, dir, "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	putStream(t, ts, "hot", trainValues(t, "timestamp_us", 100, 3))
+	stream, ok := srv.Registry().Get("hot")
+	if !ok {
+		t.Fatal("stream not registered")
+	}
+
+	vals := trainValues(t, "timestamp_us", 200, 7)
+	batch := make([][]byte, len(vals))
+	for i, v := range vals {
+		batch[i] = []byte(v)
+	}
+	ctx := context.Background()
+	// Warm past the monitor window so the verdict ring stops growing,
+	// and past the first-batch transition so nothing journals.
+	for i := 0; i < 70; i++ {
+		dec, err := srv.Monitor().CheckBytes(stream, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (dec.Verdict.Action != monitor.Accept || dec.Transition) {
+			t.Fatalf("warm batch %d not a steady accept: %+v", i, dec.Verdict)
+		}
+		srv.journalDecision(ctx, "hot", dec)
+	}
+	journaled := srv.Journal().LastID()
+
+	allocs := testing.AllocsPerRun(20, func() {
+		dec, err := srv.Monitor().CheckBytes(stream, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.journalDecision(ctx, "hot", dec)
+	})
+	if allocs != 0 {
+		t.Errorf("journal-enabled accept fast path: %.1f allocs per batch, want 0", allocs)
+	}
+	if got := srv.Journal().LastID(); got != journaled {
+		t.Errorf("steady accepts were journaled: LastID %d -> %d", journaled, got)
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"autovalidate/internal/corpus"
 	"autovalidate/internal/domain"
 	"autovalidate/internal/index"
+	"autovalidate/internal/journal"
 	"autovalidate/internal/monitor"
 	"autovalidate/internal/obs"
 	"autovalidate/internal/registry"
@@ -101,6 +102,13 @@ type Config struct {
 	// trace IDs into logs and error responses; nil disables span
 	// recording (requests still get trace IDs for correlation).
 	Tracer *obs.Tracer
+	// Journal, when set, is the drift-forensics audit log: monitor
+	// decisions (with failure attribution), ingests, replication
+	// installs, and registry mutations are appended to it and served
+	// back through GET /events. At construction the monitor's rolling
+	// state is rehydrated from each stream's latest journaled decision,
+	// so restarts do not reset escalation ladders.
+	Journal *journal.Journal
 }
 
 // Server is a long-running validation service over one offline index.
@@ -170,6 +178,10 @@ type Server struct {
 	// discard defaults so instrumentation sites stay unconditional.
 	log    *slog.Logger
 	tracer *obs.Tracer
+
+	// journal is the audit log behind GET /events; nil when forensics
+	// are disabled (every append site checks).
+	journal *journal.Journal
 
 	// endpoints maps route patterns to request counters and latency
 	// histograms; the map is fixed at construction, so lock-free reads
@@ -268,6 +280,7 @@ func New(cfg Config) (*Server, error) {
 		applySnapshot: obs.NewHistogram(nil),
 		log:           log,
 		tracer:        cfg.Tracer,
+		journal:       cfg.Journal,
 	}
 	s.opt.Store(&opt)
 	if cfg.WriteProxy != nil {
@@ -285,6 +298,11 @@ func New(cfg Config) (*Server, error) {
 	//avlint:allow swapdiscipline pre-publication store in the constructor
 	s.idx.Store(cfg.Index)
 	s.ready.Store(!cfg.StartUnready)
+	if s.journal != nil {
+		// Before the first request: the monitor picks up each stream's
+		// escalation ladder where the previous process left it.
+		s.rehydrateFromJournal()
+	}
 	return s, nil
 }
 
@@ -304,6 +322,8 @@ var routes = []string{
 	"DELETE /streams/{name}",
 	"POST /streams/{name}/check",
 	"GET /streams/{name}/history",
+	"GET /streams/{name}/explain",
+	"GET /events",
 	"GET /debug/traces",
 }
 
@@ -346,6 +366,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /streams/{name}", s.handleStreamGet)
 	handle("POST /streams/{name}/check", s.handleStreamCheck)
 	handle("GET /streams/{name}/history", s.handleStreamHistory)
+	handle("GET /streams/{name}/explain", s.handleStreamExplain)
+	handle("GET /events", s.handleEvents)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /readyz", s.handleReadyz)
 	handle("GET /stats", s.handleStats)
@@ -617,6 +639,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			warning = err.Error()
 		}
 	}
+	s.journalEvent(r.Context(), journal.Event{
+		Kind: journal.KindIngest,
+		Detail: mustDetail(map[string]any{
+			"columns":             len(cols),
+			"generation":          next.Generation,
+			"streams_invalidated": invalidated,
+		}),
+	})
 
 	writeJSON(w, http.StatusOK, IngestResponse{
 		ColumnsIngested:        len(cols),
@@ -833,6 +863,10 @@ func (s *Server) ReplicateDelta(d *index.Delta) error {
 	s.replicatedDeltas.Add(1)
 	s.applyDelta.Observe(time.Since(start))
 	s.lastApplyNanos.Store(time.Now().UnixNano())
+	s.journalEvent(context.Background(), journal.Event{
+		Kind:   journal.KindDeltaApply,
+		Detail: mustDetail(map[string]any{"generation": next.Generation}),
+	})
 	s.log.Info("replicated delta applied",
 		slog.Uint64("generation", next.Generation),
 		slog.Duration("took", time.Since(start)))
@@ -880,6 +914,10 @@ func (s *Server) InstallSnapshot(idx *index.Index, reg *registry.Registry) {
 	// The snapshot embodies the leader's state at serve time, so it is
 	// also a lower bound on the leader's generation.
 	s.ObserveLeaderGeneration(idx.Generation)
+	s.journalEvent(context.Background(), journal.Event{
+		Kind:   journal.KindSnapshotInstall,
+		Detail: mustDetail(map[string]any{"generation": idx.Generation, "patterns": idx.Size()}),
+	})
 	s.log.Info("snapshot installed",
 		slog.Uint64("generation", idx.Generation),
 		slog.Int("patterns", idx.Size()),

@@ -21,6 +21,7 @@ import (
 
 	"autovalidate/internal/core"
 	"autovalidate/internal/domain"
+	"autovalidate/internal/journal"
 	"autovalidate/internal/monitor"
 	"autovalidate/internal/obs"
 	"autovalidate/internal/registry"
@@ -191,6 +192,11 @@ func (s *Server) handleStreamPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, err.Error())
 		return
 	}
+	s.journalEvent(r.Context(), journal.Event{
+		Kind:   journal.KindRegistryPut,
+		Stream: name,
+		Detail: mustDetail(map[string]any{"version": stream.Version}),
+	})
 	writeJSON(w, http.StatusOK, streamInfo(stream, s.registry.Versions(name)))
 }
 
@@ -232,6 +238,7 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 			"stream deleted but registry persistence failed: "+err.Error())
 		return
 	}
+	s.journalEvent(r.Context(), journal.Event{Kind: journal.KindRegistryDelete, Stream: name})
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
@@ -269,6 +276,11 @@ type StreamCheckResponse struct {
 	Reinferred   bool   `json:"reinferred,omitempty"`
 	NewVersion   int    `json:"new_version,omitempty"`
 	ReinferError string `json:"reinfer_error,omitempty"`
+	// EventID is the audit-journal entry recording this decision, when
+	// one was written (non-accept actions and state transitions, on
+	// journal-enabled servers): GET /events?id= returns it, and it
+	// appears as event_id in the server's escalation logs.
+	EventID uint64 `json:"event_id,omitempty"`
 }
 
 func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
@@ -331,18 +343,20 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	eventID := s.journalDecision(r.Context(), name, dec)
 	log := obs.Logger(r.Context()).With(slog.String("stream", name))
 	if act := dec.Verdict.Action; act != monitor.Accept {
 		log.Warn("stream batch escalated",
 			slog.String("action", act.String()),
 			slog.Int("non_conforming", dec.Verdict.NonConforming),
 			slog.Int("total", dec.Verdict.Total),
-			slog.Int("consecutive_alarms", dec.ConsecutiveAlarms))
+			slog.Int("consecutive_alarms", dec.ConsecutiveAlarms),
+			slog.Uint64("event_id", eventID))
 	}
 	if v := dec.Verdict; v.Domain != "" {
 		s.domainChecked(v.Domain, v.Total-v.DomainInvalid, v.DomainInvalid)
 	}
-	resp := StreamCheckResponse{Stream: name, Version: stream.Version, Decision: dec}
+	resp := StreamCheckResponse{Stream: name, Version: stream.Version, Decision: dec, EventID: eventID}
 	if dec.Verdict.Action == monitor.Reinfer && s.canReinfer() {
 		// The drifted batch is the stream's new normal: re-learn the
 		// rule from it with the stream's original inference options,
@@ -360,7 +374,14 @@ func (s *Server) handleStreamCheck(w http.ResponseWriter, r *http.Request) {
 			s.mon.Reset(name)
 			resp.Reinferred = true
 			resp.NewVersion = next.Version
-			log.Info("stream rule re-inferred", slog.Int("new_version", next.Version))
+			reinferEvent := s.journalEvent(r.Context(), journal.Event{
+				Kind:   journal.KindReinfer,
+				Stream: name,
+				Detail: mustDetail(map[string]any{"new_version": next.Version, "decision_event_id": eventID}),
+			})
+			log.Info("stream rule re-inferred",
+				slog.Int("new_version", next.Version),
+				slog.Uint64("event_id", reinferEvent))
 			if err := s.persistRegistry(); err != nil {
 				resp.ReinferError = "re-inferred but registry persistence failed: " + err.Error()
 			}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"autovalidate/internal/buildinfo"
+	"autovalidate/internal/journal"
 	"autovalidate/internal/obs"
 )
 
@@ -29,7 +30,25 @@ type (
 	// BuildInfo identifies the running binary (version, VCS revision,
 	// Go toolchain).
 	BuildInfo = buildinfo.Info
+	// Journal is the drift-forensics audit log: an append-only,
+	// segmented, CRC-framed event journal recording monitor decisions
+	// (with per-value failure attribution), re-inferences, ingests,
+	// replication installs, and registry mutations. Hand one to
+	// ServiceConfig.Journal to enable GET /events and startup
+	// rehydration of the monitor's escalation state.
+	Journal = journal.Journal
+	// JournalOptions configures segment rotation and retention.
+	JournalOptions = journal.Options
+	// JournalEvent is one audit record, as served by GET /events.
+	JournalEvent = journal.Event
+	// JournalFilter selects events out of a journal (cursor, stream,
+	// kind, trace, time).
+	JournalFilter = journal.Filter
 )
+
+// OpenJournal opens (or creates) an audit journal directory, truncating
+// any torn tail left by a crash mid-append.
+func OpenJournal(dir string, opt JournalOptions) (*Journal, error) { return journal.Open(dir, opt) }
 
 // NewTracer returns a tracer; a nil *Tracer is valid everywhere and
 // disables tracing with zero allocation on the request path.
